@@ -1,0 +1,1 @@
+bench/exp_ablate.ml: Bench_util Blk Core Costs Device Hashtbl Kfs Lab_device Lab_kernel Lab_sim Labstor List Machine Mods Option Platform Printf Profile Runtime Sim Stdlib

@@ -1,0 +1,1 @@
+bench/exp_anatomy.ml: Bench_util Device Float Lab_device Labstor Platform Printf Profile Runtime Sim

@@ -1,0 +1,1 @@
+bench/exp_metadata.ml: Array Bench_util Blk Device Kfs Lab_device Lab_kernel Lab_workloads Labstor List Option Platform Printf Profile Runtime Sim

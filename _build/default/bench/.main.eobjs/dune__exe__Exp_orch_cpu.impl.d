@@ -1,0 +1,1 @@
+bench/exp_orch_cpu.ml: Array Bench_util Labstor List Platform Printf Runtime Sim

@@ -1,0 +1,1 @@
+bench/exp_orch_partition.ml: Bench_util Float Labstor List Platform Printf Runtime Sim

@@ -1,0 +1,1 @@
+bench/exp_pfs.ml: Array Bench_util Blk Device Kfs Lab_device Lab_kernel Lab_sim Lab_workloads Labstor List Machine Option Platform Printf Profile Runtime

@@ -1,0 +1,1 @@
+bench/exp_schedulers.ml: Api Array Bench_util Blk Device Engine Lab_device Lab_kernel Lab_sim Labstor List Machine Mods Option Printf Profile Rng Runtime Stats

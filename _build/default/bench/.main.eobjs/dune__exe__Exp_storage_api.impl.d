@@ -1,0 +1,1 @@
+bench/exp_storage_api.ml: Api Bench_util Blk Core Device Lab_device Lab_kernel Lab_sim Lab_workloads Labstor List Machine Mods Option Printf Profile

@@ -1,0 +1,1 @@
+bench/exp_upgrade.ml: Bench_util Core Labstor List Mods Platform Printf Runtime Sim

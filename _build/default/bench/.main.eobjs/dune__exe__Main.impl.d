@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablate Exp_anatomy Exp_filebench Exp_labios Exp_metadata Exp_orch_cpu Exp_orch_partition Exp_pfs Exp_schedulers Exp_storage_api Exp_upgrade List Micro Printf Sys

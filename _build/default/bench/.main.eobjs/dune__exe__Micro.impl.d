@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_util Benchmark Bytes Char Hashtbl Instance Int Lab_core Lab_ipc Lab_mods Lab_sim List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,36 @@
+(* Shared table formatting and small helpers for the experiment
+   harness. *)
+
+let heading id title =
+  Printf.printf "\n=== %s — %s ===\n" id title
+
+let row_format widths =
+  String.concat "  " (List.map (fun w -> Printf.sprintf "%%-%ds" w) widths)
+
+let print_row widths cells =
+  List.iteri
+    (fun i cell ->
+      let w = List.nth widths i in
+      Printf.printf "%-*s" w cell;
+      if i < List.length cells - 1 then print_string "  ")
+    cells;
+  print_newline ()
+
+let print_table widths header rows =
+  print_row widths header;
+  print_row widths (List.map (fun w -> String.make w '-') widths);
+  List.iter (print_row widths) rows
+
+let f1 v = Printf.sprintf "%.1f" v
+
+let f2 v = Printf.sprintf "%.2f" v
+
+let f0 v = Printf.sprintf "%.0f" v
+
+let kops v = Printf.sprintf "%.1fk" (v /. 1000.0)
+
+let pct base v = Printf.sprintf "%+.0f%%" (100.0 *. (v -. base) /. base)
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+let _ = row_format

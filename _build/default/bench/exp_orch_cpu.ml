@@ -1,0 +1,105 @@
+(* Figure 5(a) — Work orchestration: dynamic CPU allocation.
+
+   Each client thread randomly writes 16 MiB in 4 KiB requests (scaled
+   from the paper's 1 GiB) through a NoOp + Kernel Driver stack on
+   NVMe. Worker configurations: 1 static, 8 static (busy-polling, as
+   statically-provisioned pools do), and dynamic. Reported: aggregate
+   kIOPS and CPU cores consumed by the worker pool. *)
+
+open Labstor
+
+let spec =
+  {|
+mount: "fs::/wo"
+dag:
+  - uuid: wo-fs
+    mod: labfs
+    outputs: [wo-sched]
+  - uuid: wo-sched
+    mod: noop_sched
+    outputs: [wo-drv]
+  - uuid: wo-drv
+    mod: kernel_driver
+|}
+
+let bytes_per_client = 16 * 1024 * 1024
+
+let client_counts = [ 1; 2; 4; 8; 16 ]
+
+let run_config ~nclients config_name policy busy_poll =
+  ignore config_name;
+  let platform =
+    Platform.boot ~ncores:32 ~nworkers:8 ~policy ~workers_busy_poll:busy_poll ()
+  in
+  ignore (Platform.mount_exn platform spec);
+  let rt = Platform.runtime platform in
+  Platform.go platform (fun () ->
+      let m = Platform.machine platform in
+      let clients =
+        Array.init nclients (fun i -> Platform.client platform ~thread:i ())
+      in
+      (* Open one file per client up front. *)
+      let fds =
+        Array.mapi
+          (fun i c ->
+            match
+              Runtime.Client.open_file c ~create:true
+                (Printf.sprintf "fs::/wo/f%d" i)
+            with
+            | Ok fd -> fd
+            | Error e -> failwith e)
+          clients
+      in
+      Runtime.Runtime.reset_worker_stats rt;
+      let t0 = Platform.now platform in
+      let ops = bytes_per_client / 4096 in
+      let finished = ref 0 in
+      Sim.Engine.suspend (fun resume ->
+          Array.iteri
+            (fun i c ->
+              Sim.Engine.spawn m.Sim.Machine.engine (fun () ->
+                  let rng = Sim.Rng.create (77 + i) in
+                  for _ = 1 to ops do
+                    let off = Sim.Rng.int rng 4096 * 4096 in
+                    ignore (Runtime.Client.pwrite c ~fd:fds.(i) ~off ~bytes:4096)
+                  done;
+                  incr finished;
+                  if !finished = nclients then resume ()))
+            clients);
+      let elapsed = Platform.now platform -. t0 in
+      let iops = float_of_int (nclients * ops) /. (elapsed /. 1e9) in
+      let cores =
+        Runtime.Runtime.utilization rt ~elapsed_ns:elapsed
+        *. float_of_int (Array.length (Runtime.Runtime.workers rt))
+      in
+      (iops, cores))
+
+let run () =
+  Bench_util.heading "fig5a"
+    "Dynamic CPU allocation: 4 KiB random writes, NoOp + Kernel Driver on NVMe";
+  let configs =
+    [
+      ("1 worker", Runtime.Orchestrator.Static 1, true);
+      ("8 workers", Runtime.Orchestrator.Static 8, true);
+      ( "dynamic",
+        Runtime.Orchestrator.Dynamic
+          { max_workers = 8; threshold = 0.2; lq_cutoff_ns = 1e6 },
+        false );
+    ]
+  in
+  Bench_util.print_table [ 8; 16; 16; 16 ]
+    ("clients" :: List.map (fun (n, _, _) -> n ^ " (kIOPS/cores)") configs)
+    (List.map
+       (fun nclients ->
+         string_of_int nclients
+         :: List.map
+              (fun (name, policy, bp) ->
+                let iops, cores = run_config ~nclients name policy bp in
+                Printf.sprintf "%s / %.1f" (Bench_util.kops iops) cores)
+              configs)
+       client_counts);
+  Bench_util.note
+    "paper shape: 1 worker saturates at ~2 clients then drops ~50%%; 8 workers";
+  Bench_util.note
+    "hit max IOPS but burn ~25%% more CPU than dynamic (~4 cores); at 16";
+  Bench_util.note "clients dynamic matches 8-worker performance and utilization."

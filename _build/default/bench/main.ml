@@ -1,0 +1,51 @@
+(* LabStor reproduction benchmark harness.
+
+   Each subcommand regenerates one table/figure of the paper's
+   evaluation (see DESIGN.md's experiment index); no argument runs all
+   of them in order. `micro` runs Bechamel microbenchmarks of the core
+   data structures. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("anatomy", "Fig 4(a): I/O stack anatomy", Exp_anatomy.run);
+    ("upgrade", "Table I: live upgrade cost", Exp_upgrade.run);
+    ("orchestrator-cpu", "Fig 5(a): dynamic CPU allocation", Exp_orch_cpu.run);
+    ( "orchestrator-partition",
+      "Fig 5(b): request partitioning",
+      Exp_orch_partition.run );
+    ("storage-api", "Fig 6: storage interface performance", Exp_storage_api.run);
+    ("metadata", "Fig 7: metadata throughput", Exp_metadata.run);
+    ("schedulers", "Fig 8 + Table II: I/O schedulers", Exp_schedulers.run);
+    ("pfs", "Fig 9(a): PFS over custom stacks", Exp_pfs.run);
+    ("labios", "Fig 9(b): LABIOS object store", Exp_labios.run);
+    ("filebench", "Fig 9(c): Filebench workloads", Exp_filebench.run);
+    ("ablate", "Ablations: cost sensitivity & design choices", Exp_ablate.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [experiment|all|micro]";
+  print_endline "experiments:";
+  List.iter (fun (name, desc, _) -> Printf.printf "  %-24s %s\n" name desc)
+    experiments;
+  Printf.printf "  %-24s %s\n" "micro" "Bechamel microbenchmarks of core structures"
+
+let run_all () =
+  List.iter
+    (fun (_, _, f) ->
+      f ();
+      flush stdout)
+    experiments
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] -> run_all ()
+  | [ _; "micro" ] -> Micro.run ()
+  | [ _; name ] -> (
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, f) -> f ()
+      | None ->
+          usage ();
+          exit 1)
+  | _ ->
+      usage ();
+      exit 1

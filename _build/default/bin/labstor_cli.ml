@@ -1,0 +1,173 @@
+(* labstor_cli — the utility-command surface of the deployment model:
+   validate LabStack specs, mount them on a simulated platform and drive
+   workloads against them, and inspect the stock LabMod inventory.
+
+   Examples:
+     labstor_cli validate my-stack.yaml
+     labstor_cli run --stack my-stack.yaml --ops 5000 --bytes 4096
+     labstor_cli run --stack my-stack.yaml --config runtime.yaml --threads 4
+     labstor_cli mods *)
+
+open Labstor
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---------------- validate ---------------- *)
+
+let validate_cmd =
+  let spec_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"LabStack YAML file")
+  in
+  let run spec_file =
+    match Core.Stack_spec.parse (read_file spec_file) with
+    | Error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | Ok spec -> (
+        (* Validate against the stock implementations. *)
+        let platform = Platform.boot () in
+        let reg = Runtime.Runtime.registry (Platform.runtime platform) in
+        let mod_type_of name =
+          Option.map
+            (fun f ->
+              let probe = f ~uuid:"__probe__" ~attrs:[] in
+              probe.Core.Labmod.mod_type)
+            (Core.Registry.find_factory reg name)
+        in
+        match Core.Stack_spec.validate spec ~mod_type_of with
+        | Error e ->
+            Printf.eprintf "invalid stack: %s\n" e;
+            exit 1
+        | Ok () ->
+            Printf.printf "%s: valid LabStack (%s execution)\n"
+              spec.Core.Stack_spec.mount
+              (match spec.Core.Stack_spec.rules.Core.Stack_spec.exec_mode with
+              | Core.Stack_spec.Sync -> "sync"
+              | Core.Stack_spec.Async -> "async");
+            List.iter
+              (fun (v : Core.Stack_spec.vertex) ->
+                Printf.printf "  %-16s %-16s -> %s\n" v.Core.Stack_spec.uuid
+                  v.Core.Stack_spec.mod_name
+                  (match v.Core.Stack_spec.outputs with
+                  | [] -> "(sink)"
+                  | outs -> String.concat ", " outs))
+              spec.Core.Stack_spec.dag)
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Parse and validate a LabStack specification")
+    Term.(const run $ spec_file)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let stack_file =
+    Arg.(required & opt (some file) None & info [ "stack" ] ~docv:"SPEC" ~doc:"LabStack YAML file")
+  in
+  let config_file =
+    Arg.(value & opt (some file) None & info [ "config" ] ~docv:"CONF" ~doc:"Runtime configuration YAML")
+  in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"operations per thread") in
+  let bytes = Arg.(value & opt int 4096 & info [ "bytes" ] ~doc:"bytes per write") in
+  let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"client threads") in
+  let run stack_file config_file ops bytes threads =
+    let config =
+      match config_file with
+      | None -> Runtime.Runtime.default_config
+      | Some f -> (
+          match Runtime.Run_config.parse (read_file f) with
+          | Ok c -> c
+          | Error e ->
+              Printf.eprintf "config error: %s\n" e;
+              exit 1)
+    in
+    let machine = Sim.Machine.create ~ncores:24 () in
+    let nvme = Device.Device.create machine.Sim.Machine.engine Device.Profile.nvme in
+    let backend = Mods.Mods_env.backend_of_device machine nvme in
+    let config =
+      { config with Runtime.Runtime.worker_core_base = 24 - config.Runtime.Runtime.nworkers }
+    in
+    let rt =
+      Runtime.Runtime.create machine ~config ~backends:[ ("nvme", backend) ]
+        ~default_backend:"nvme" ()
+    in
+    Runtime.Runtime.start rt;
+    let spec_text = read_file stack_file in
+    let mount =
+      match Runtime.Runtime.mount_text rt spec_text with
+      | Ok stack -> stack.Core.Stack.mount
+      | Error e ->
+          Printf.eprintf "mount error: %s\n" e;
+          exit 1
+    in
+    let result = ref None in
+    Sim.Machine.spawn machine (fun () ->
+        let t0 = Sim.Machine.now machine in
+        let finished = ref 0 in
+        Sim.Engine.suspend (fun resume ->
+            for th = 0 to threads - 1 do
+              Sim.Engine.spawn machine.Sim.Machine.engine (fun () ->
+                  let c =
+                    Runtime.Client.connect rt ~pid:(100 + th) ~uid:1000 ~thread:th ()
+                  in
+                  for i = 1 to ops do
+                    let path = Printf.sprintf "%s/t%d-f%d" mount th i in
+                    (match Runtime.Client.create c path with
+                    | Ok () -> ()
+                    | Error e -> failwith e);
+                    match Runtime.Client.open_file c path with
+                    | Ok fd ->
+                        ignore (Runtime.Client.pwrite c ~fd ~off:0 ~bytes);
+                        ignore (Runtime.Client.close c fd)
+                    | Error e -> failwith e
+                  done;
+                  incr finished;
+                  if !finished = threads then resume ())
+            done);
+        result := Some (Sim.Machine.now machine -. t0);
+        Sim.Engine.stop_all machine.Sim.Machine.engine);
+    Sim.Machine.run machine;
+    match !result with
+    | Some elapsed ->
+        let total_ops = 3 * ops * threads in
+        Printf.printf "%s: %d ops in %.2f ms (simulated) -> %.1f kops/s, %.1f MiB written\n"
+          mount total_ops (elapsed /. 1e6)
+          (float_of_int total_ops /. (elapsed /. 1e9) /. 1000.0)
+          (float_of_int (ops * threads * bytes) /. 1048576.0)
+    | None ->
+        Printf.eprintf "workload did not complete\n";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Mount a LabStack on a simulated NVMe machine and drive a create/write/close workload")
+    Term.(const run $ stack_file $ config_file $ ops $ bytes $ threads)
+
+(* ---------------- mods ---------------- *)
+
+let mods_cmd =
+  let run () =
+    let platform = Platform.boot ~devices:[ Device.Profile.Nvme; Device.Profile.Pmem ] () in
+    let reg = Runtime.Runtime.registry (Platform.runtime platform) in
+    let names = List.sort compare (Core.Registry.factory_names reg) in
+    Printf.printf "%d installed LabMod implementations:\n" (List.length names);
+    List.iter
+      (fun name ->
+        match Core.Registry.find_factory reg name with
+        | Some f ->
+            let probe = f ~uuid:"__probe__" ~attrs:[] in
+            Printf.printf "  %-24s %s\n" name
+              (Core.Labmod.mod_type_name probe.Core.Labmod.mod_type)
+        | None -> ())
+      names
+  in
+  Cmd.v (Cmd.info "mods" ~doc:"List the stock LabMod implementations") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "labstor_cli" ~version:"1.0.0"
+      ~doc:"LabStor platform utilities (simulated deployment)"
+  in
+  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; mods_cmd ]))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Core Labstor Mods Option Platform Printf Runtime Sim

@@ -1,0 +1,1 @@
+examples/custom_stack.ml: Core Device Labstor List Platform Printf Runtime String

@@ -1,0 +1,1 @@
+examples/decentralized_fs.ml: Core Labstor Mods Option Platform Printf Runtime

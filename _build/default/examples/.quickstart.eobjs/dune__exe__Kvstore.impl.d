@@ -1,0 +1,1 @@
+examples/kvstore.ml: Labstor Platform Printf Runtime

@@ -1,0 +1,1 @@
+examples/live_upgrade.ml: Core Labstor Mods Option Platform Printf Runtime

@@ -1,0 +1,1 @@
+examples/orchestrator_demo.ml: Labstor Platform Printf Runtime Sim

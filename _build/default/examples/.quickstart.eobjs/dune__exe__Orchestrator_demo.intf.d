@@ -1,0 +1,1 @@
+examples/orchestrator_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Device Labstor List Platform Printf Runtime

@@ -1,0 +1,1 @@
+examples/tunable_access.ml: Core Labstor List Mods Option Platform Printf Runtime

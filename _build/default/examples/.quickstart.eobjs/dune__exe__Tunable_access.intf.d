@@ -1,0 +1,1 @@
+examples/tunable_access.mli:

@@ -1,0 +1,1 @@
+examples/write_your_own_mod.ml: Core Device Hashtbl Lab_core Labmod Labstor List Option Platform Printf Registry Request Runtime Sim

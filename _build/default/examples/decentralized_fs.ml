@@ -1,0 +1,93 @@
+(* Decentralized I/O system design (paper §III-B): metadata operations
+   go through the Runtime (centralized, secured, asynchronous) while
+   data operations execute synchronously in the client over a direct
+   driver path — the SplitFS/Nova-style split the paper shows LabStor
+   expressing with two LabStacks.
+
+   The trick: both stacks name the SAME LabFS instance (UUID
+   "split-fs"), and the Module Registry instantiates a UUID only once —
+   so block allocations made on the data path are visible to the
+   metadata path, exactly like the paper's "state ... stored in shared
+   memory between the two LabStacks".
+
+   Run with: dune exec examples/decentralized_fs.exe *)
+
+open Labstor
+
+(* Metadata stack: asynchronous, through Runtime workers. *)
+let md_spec =
+  {|
+mount: "md::/split"
+rules:
+  exec_mode: async
+dag:
+  - uuid: split-fs
+    mod: labfs
+    outputs: [split-sched]
+  - uuid: split-sched
+    mod: noop_sched
+    outputs: [split-drv]
+  - uuid: split-drv
+    mod: kernel_driver
+|}
+
+(* Data stack: the same LabFS instance, executed in the client. *)
+let data_spec =
+  {|
+mount: "fs::/split"
+rules:
+  exec_mode: sync
+dag:
+  - uuid: split-fs
+    mod: labfs
+    outputs: [split-sched]
+  - uuid: split-sched
+    mod: noop_sched
+    outputs: [split-drv]
+  - uuid: split-drv
+    mod: kernel_driver
+|}
+
+let ops = 300
+
+let () =
+  let platform = Platform.boot ~nworkers:2 () in
+  ignore (Platform.mount_exn platform md_spec);
+  ignore (Platform.mount_exn platform data_spec);
+  Platform.go platform (fun () ->
+      let c = Platform.client platform ~thread:0 () in
+      (* Metadata (create) through the centralized path... *)
+      let t0 = Platform.now platform in
+      for i = 1 to ops do
+        match Runtime.Client.create c (Printf.sprintf "md::/split/f%d" i) with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      let md_time = Platform.now platform -. t0 in
+      (* ...data through the decentralized client-side path. The files
+         were created via the md mount; the SAME inodes are visible
+         under the data mount because the LabFS instance is shared. *)
+      let t0 = Platform.now platform in
+      for i = 1 to ops do
+        (* GenericFS resolves either mount to the shared instance; the
+           data mount's path prefix differs, so write via md-visible
+           names re-resolved under the sync stack. *)
+        match Runtime.Client.open_file c (Printf.sprintf "fs::/split/f%d" i) ~create:true with
+        | Ok fd ->
+            ignore (Runtime.Client.pwrite c ~fd ~off:0 ~bytes:4096);
+            ignore (Runtime.Client.close c fd)
+        | Error e -> failwith e
+      done;
+      let data_time = Platform.now platform -. t0 in
+      Printf.printf "%d creates via centralized md stack:   %8.1f us (%.1f us/op)\n"
+        ops (md_time /. 1e3)
+        (md_time /. 1e3 /. float_of_int ops);
+      Printf.printf "%d open+write+close via client-side data stack: %8.1f us (%.1f us/op)\n"
+        ops (data_time /. 1e3)
+        (data_time /. 1e3 /. float_of_int ops);
+      let rt = Platform.runtime platform in
+      let fs = Option.get (Core.Registry.find (Runtime.Runtime.registry rt) "split-fs") in
+      Printf.printf "one shared LabFS instance holds %d files from both paths\n"
+        (Mods.Labfs.file_count fs);
+      print_endline
+        "metadata keeps the Runtime's security boundary; data skips the IPC entirely")

@@ -1,0 +1,50 @@
+(* Live upgrade: hot-swap a LabMod's code while an application is
+   hammering it, with no service interruption and full state transfer —
+   the Table I scenario.
+
+   Run with: dune exec examples/live_upgrade.exe *)
+
+open Labstor
+
+let spec = "mount: \"ctl::/svc\"\ndag:\n  - uuid: svc-1\n    mod: dummy"
+
+let () =
+  let platform = Platform.boot ~nworkers:1 () in
+  ignore (Platform.mount_exn platform spec);
+  let rt = Platform.runtime platform in
+  Platform.go platform (fun () ->
+      let client = Platform.client platform ~thread:0 () in
+      (* Phase 1: traffic against version 1. *)
+      for _ = 1 to 1000 do
+        match Runtime.Client.control client ~mount:"ctl::/svc" 1 with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      let v1 = Option.get (Core.Registry.find (Runtime.Runtime.registry rt) "svc-1") in
+      Printf.printf "v%d (%s) processed %d messages\n" v1.Core.Labmod.version
+        (Mods.Dummy_mod.tag v1)
+        (Mods.Dummy_mod.messages v1);
+
+      (* Submit the upgrade; the Runtime admin applies it within one
+         period while we keep sending. *)
+      Runtime.Runtime.modify_mods rt
+        {
+          Core.Module_manager.target = "dummy";
+          factory = Mods.Dummy_mod.factory ~tag:"v2" ();
+          code_bytes = 1 lsl 20;  (* a 1 MiB module binary *)
+          kind = Core.Module_manager.Centralized;
+        };
+      let t0 = Platform.now platform in
+      for _ = 1 to 1000 do
+        match Runtime.Client.control client ~mount:"ctl::/svc" 1 with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      let dt = Platform.now platform -. t0 in
+      let v2 = Option.get (Core.Registry.find (Runtime.Runtime.registry rt) "svc-1") in
+      Printf.printf "upgrade applied mid-traffic: now v%d (%s), %d messages total\n"
+        v2.Core.Labmod.version (Mods.Dummy_mod.tag v2) (Mods.Dummy_mod.messages v2);
+      Printf.printf "1000 messages across the upgrade took %.2f ms (the upgrade itself ~3 ms)\n"
+        (dt /. 1e6);
+      assert (Mods.Dummy_mod.messages v2 = 2000);
+      print_endline "no message was lost: state survived the code swap")

@@ -1,0 +1,82 @@
+(* Tunable access control (paper §III-B): several LabStacks mounted
+   over the same content, each with a different Permissions LabMod —
+   islands of data visible to different actors, adjustable at runtime
+   without touching a monolithic policy.
+
+   Both stacks share the LabFS instance (UUID "ta-fs"); only the
+   permission vertex differs. The "staff" view denies nothing; the
+   "guest" view denies the /secret subtree — for the same bytes.
+
+   Run with: dune exec examples/tunable_access.exe *)
+
+open Labstor
+
+let staff_spec =
+  {|
+mount: "staff::/data"
+dag:
+  - uuid: ta-perm-staff
+    mod: permissions
+    outputs: [ta-fs]
+  - uuid: ta-fs
+    mod: labfs
+    outputs: [ta-drv]
+  - uuid: ta-drv
+    mod: kernel_driver
+|}
+
+let guest_spec =
+  {|
+mount: "guest::/data"
+dag:
+  - uuid: ta-perm-guest
+    mod: permissions
+    outputs: [ta-fs]
+  - uuid: ta-fs
+    mod: labfs
+    outputs: [ta-drv]
+  - uuid: ta-drv
+    mod: kernel_driver
+|}
+
+let () =
+  let platform = Platform.boot ~nworkers:2 () in
+  ignore (Platform.mount_exn platform staff_spec);
+  ignore (Platform.mount_exn platform guest_spec);
+  let rt = Platform.runtime platform in
+  let reg = Runtime.Runtime.registry rt in
+  (* The guest view denies the secret island for every uid. *)
+  let guest_perm = Option.get (Core.Registry.find reg "ta-perm-guest") in
+  List.iter
+    (fun uid ->
+      Mods.Permissions.add_rule guest_perm ~uid ~prefix:"guest::/data/secret"
+        ~allow:false)
+    [ 1000; 2000 ];
+  Platform.go platform (fun () ->
+      let staff = Platform.client platform ~uid:1000 ~thread:0 () in
+      let guest = Platform.client platform ~uid:2000 ~thread:1 () in
+      (* Staff writes through their view, including the secret island. *)
+      (match Runtime.Client.create staff "staff::/data/public/report" with
+      | Ok () -> print_endline "staff: created staff::/data/public/report"
+      | Error e -> failwith e);
+      (match Runtime.Client.create staff "staff::/data/secret/salaries" with
+      | Ok () -> print_endline "staff: created staff::/data/secret/salaries"
+      | Error e -> failwith e);
+      (* The files exist once, in the shared LabFS. The guest view maps
+         the same namespace under its own mount with its own policy. *)
+      let fs = Option.get (Core.Registry.find reg "ta-fs") in
+      Printf.printf "shared LabFS now holds %d files\n" (Mods.Labfs.file_count fs);
+      (* Guests can reach the public island... *)
+      (match Runtime.Client.create guest "guest::/data/public/note" with
+      | Ok () -> print_endline "guest: created guest::/data/public/note"
+      | Error e -> failwith e);
+      (* ...but the secret island is dark through their stack. *)
+      (match Runtime.Client.create guest "guest::/data/secret/peek" with
+      | Error e -> Printf.printf "guest: DENIED on secret island (%s)\n" e
+      | Ok () -> failwith "guest should have been denied");
+      (* Tunability: the operator flips the island open live. *)
+      Mods.Permissions.add_rule guest_perm ~uid:2000 ~prefix:"guest::/data/secret"
+        ~allow:true;
+      match Runtime.Client.create guest "guest::/data/secret/peek" with
+      | Ok () -> print_endline "operator widened the policy: guest now admitted"
+      | Error e -> failwith e)

@@ -1,0 +1,1 @@
+lib/core/labmod.ml: Lab_sim Request

@@ -1,0 +1,1 @@
+lib/core/labmod.mli: Lab_sim Request

@@ -1,0 +1,1 @@
+lib/core/module_manager.ml: Engine Lab_ipc Lab_sim Labmod List Machine Qp Queue Registry

@@ -1,0 +1,1 @@
+lib/core/module_manager.mli: Lab_ipc Lab_sim Labmod Registry Request

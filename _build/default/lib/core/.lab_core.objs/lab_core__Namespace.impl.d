@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Hashtbl Printf Stack Stack_spec String

@@ -1,0 +1,1 @@
+lib/core/repo.ml: Hashtbl List Option Printf Registry Stack_spec

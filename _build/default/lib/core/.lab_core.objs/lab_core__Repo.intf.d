@@ -1,0 +1,1 @@
+lib/core/repo.mli: Registry Stack_spec

@@ -1,0 +1,1 @@
+lib/core/request.ml: Format

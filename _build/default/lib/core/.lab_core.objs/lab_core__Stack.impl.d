@@ -1,0 +1,1 @@
+lib/core/stack.ml: Labmod List Registry Result Stack_spec String

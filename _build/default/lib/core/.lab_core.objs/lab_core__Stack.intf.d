@@ -1,0 +1,1 @@
+lib/core/stack.mli: Labmod Registry Stack_spec

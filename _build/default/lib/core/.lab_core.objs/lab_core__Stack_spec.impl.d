@@ -1,0 +1,1 @@
+lib/core/stack_spec.ml: Hashtbl Labmod List Option Printf Queue Result Set String Yamlite

@@ -1,0 +1,1 @@
+lib/core/stack_spec.mli: Labmod Yamlite

@@ -1,0 +1,1 @@
+lib/core/yamlite.ml: Array Buffer List Printf String

@@ -1,0 +1,82 @@
+type mod_type =
+  | Filesystem
+  | Kv_store
+  | Scheduler
+  | Cache
+  | Permissions
+  | Compression
+  | Consistency
+  | Driver
+  | Generic
+  | Control
+
+type state = ..
+
+type state += No_state
+
+type ctx = {
+  machine : Lab_sim.Machine.t;
+  thread : int;
+  forward : Request.t -> Request.result;
+  forward_async : Request.t -> unit;
+}
+
+type t = {
+  name : string;
+  uuid : string;
+  mod_type : mod_type;
+  mutable version : int;
+  mutable state : state;
+  ops : ops;
+}
+
+and ops = {
+  operate : t -> ctx -> Request.t -> Request.result;
+  est_processing_time : t -> Request.t -> float;
+  state_update : state -> state;
+  state_repair : t -> unit;
+}
+
+let make ~name ~uuid ~mod_type ?(state = No_state) ops =
+  { name; uuid; mod_type; version = 1; state; ops }
+
+let default_est _ _ = 500.0
+
+let mod_type_name = function
+  | Filesystem -> "filesystem"
+  | Kv_store -> "kv_store"
+  | Scheduler -> "scheduler"
+  | Cache -> "cache"
+  | Permissions -> "permissions"
+  | Compression -> "compression"
+  | Consistency -> "consistency"
+  | Driver -> "driver"
+  | Generic -> "generic"
+  | Control -> "control"
+
+(* Stack composition rules: interfaces narrow as requests descend
+   towards hardware. Drivers are sinks; Generic mods are client-side
+   dispatchers and never appear inside a DAG. *)
+let compatible_downstream up down =
+  match (up, down) with
+  | _, Generic -> false
+  | Driver, _ -> false
+  | Generic, _ -> true
+  (* Consistency is an interposer: accepts anything non-driver upstream
+     and feeds the data path below it. *)
+  | Consistency, (Cache | Compression | Scheduler | Driver | Control) -> true
+  | Consistency, (Filesystem | Kv_store | Permissions | Consistency) -> false
+  | (Filesystem | Kv_store | Permissions | Cache | Compression), Consistency -> true
+  | (Scheduler | Control), Consistency -> false
+  | (Filesystem | Kv_store), (Permissions | Cache | Compression | Scheduler | Driver | Control) -> true
+  | (Filesystem | Kv_store), (Filesystem | Kv_store) -> false
+  | Permissions, (Filesystem | Kv_store | Cache | Compression | Scheduler | Driver | Control) -> true
+  | Permissions, Permissions -> false
+  | Cache, (Compression | Scheduler | Driver | Cache) -> true  (* tiered caches *)
+  | Compression, (Scheduler | Driver | Cache) -> true
+  | Scheduler, Driver -> true
+  | Control, Control -> true
+  | Cache, (Filesystem | Kv_store | Permissions | Control) -> false
+  | Compression, (Filesystem | Kv_store | Permissions | Compression | Control) -> false
+  | Scheduler, (Filesystem | Kv_store | Permissions | Cache | Compression | Scheduler | Control) -> false
+  | Control, (Filesystem | Kv_store | Permissions | Cache | Compression | Scheduler | Driver) -> false

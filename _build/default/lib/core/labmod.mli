@@ -1,0 +1,84 @@
+(** The LabMod: a single-purpose, self-contained I/O module.
+
+    A LabMod is made of four elements (§III-A of the paper):
+    - {e type}: the interface it implements ({!mod_type});
+    - {e operation}: [operate], which consumes a request and produces a
+      result, possibly forwarding derived requests downstream via the
+      context;
+    - {e state}: an instance-private value of the extensible {!state}
+      type, transferable across code versions by [state_update];
+    - {e connector}: provided by the client library / Generic LabMods,
+      which construct requests and place them in queue pairs.
+
+    Implementations must also provide the platform APIs that make
+    LabMods upgradeable, stackable and measurable: [state_update]
+    (live upgrade), [state_repair] (crash recovery), and
+    [est_processing_time] (work orchestration). *)
+
+type mod_type =
+  | Filesystem
+  | Kv_store
+  | Scheduler
+  | Cache
+  | Permissions
+  | Compression
+  | Consistency
+  | Driver
+  | Generic
+  | Control
+
+type state = ..
+(** Each implementation extends this with its private state. *)
+
+type state += No_state
+
+type ctx = {
+  machine : Lab_sim.Machine.t;
+  thread : int;  (** thread executing the operation *)
+  forward : Request.t -> Request.result;
+      (** hands a (possibly derived) request to the next stage(s) of the
+          LabStack DAG and waits for their result *)
+  forward_async : Request.t -> unit;
+      (** fire-and-forget variant: the downstream stages run in their
+          own process while the operator continues (the paper's
+          asynchronous message passing between LabMods) *)
+}
+
+type t = {
+  name : string;  (** implementation name, e.g. ["labfs"] *)
+  uuid : string;  (** instance identity in the Module Registry *)
+  mod_type : mod_type;
+  mutable version : int;
+  mutable state : state;
+  ops : ops;
+}
+
+and ops = {
+  operate : t -> ctx -> Request.t -> Request.result;
+  est_processing_time : t -> Request.t -> float;
+      (** expected CPU time (ns) to process this request, used by the
+          Work Orchestrator to separate latency-sensitive queues from
+          computational ones *)
+  state_update : state -> state;
+      (** builds the new version's state from the old instance's state *)
+  state_repair : t -> unit;
+      (** invoked by clients after a Runtime crash + restart *)
+}
+
+val make :
+  name:string ->
+  uuid:string ->
+  mod_type:mod_type ->
+  ?state:state ->
+  ops ->
+  t
+
+val default_est : t -> Request.t -> float
+(** A conservative default estimate: a few hundred ns per request. *)
+
+val compatible_downstream : mod_type -> mod_type -> bool
+(** [compatible_downstream upstream downstream]: which module types may
+    feed which (e.g. anything can feed a Driver; a Driver feeds
+    nothing). Used by LabStack validation. *)
+
+val mod_type_name : mod_type -> string

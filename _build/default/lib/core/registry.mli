@@ -1,0 +1,42 @@
+(** Module Registry: the key-value store of instantiated LabMods (keyed
+    by UUID) plus the factories that model installed LabMod code
+    ("repos" in the deployment model, i.e. loadable plug-ins). *)
+
+type factory = uuid:string -> attrs:(string * Yamlite.t) list -> Labmod.t
+
+type t
+
+val create : unit -> t
+
+(** {2 Factories (installed code)} *)
+
+val register_factory : t -> name:string -> factory -> unit
+(** Registers or replaces the implementation installed under [name]. *)
+
+val unregister_factory : t -> name:string -> unit
+
+val find_factory : t -> string -> factory option
+
+val factory_names : t -> string list
+
+(** {2 Instances} *)
+
+val instantiate :
+  t -> mod_name:string -> uuid:string -> attrs:(string * Yamlite.t) list ->
+  (Labmod.t, string) result
+(** Returns the existing instance when [uuid] is already registered
+    (mount semantics: a LabMod is only instantiated if its UUID is
+    new); otherwise builds one from the factory. *)
+
+val find : t -> string -> Labmod.t option
+
+val replace : t -> Labmod.t -> unit
+(** Swaps the instance registered under the module's UUID (hot swap /
+    upgrade). *)
+
+val remove : t -> string -> unit
+
+val instances : t -> Labmod.t list
+
+val instances_of_name : t -> string -> Labmod.t list
+(** All instances built from the implementation called [name]. *)

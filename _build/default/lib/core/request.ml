@@ -1,0 +1,102 @@
+type io_kind = Read | Write
+
+type posix_op =
+  | Open of { path : string; create : bool }
+  | Close of { fd : int }
+  | Pread of { fd : int; path : string; off : int; bytes : int }
+  | Pwrite of { fd : int; path : string; off : int; bytes : int }
+  | Fsync of { fd : int; path : string }
+  | Create of { path : string }
+  | Unlink of { path : string }
+  | Rename of { src : string; dst : string }
+
+type kv_op =
+  | Put of { key : string; bytes : int }
+  | Get of { key : string }
+  | Delete of { key : string }
+
+type block_op = {
+  b_kind : io_kind;
+  b_lba : int;
+  b_bytes : int;
+  b_sync : bool;  (** force-unit-access: journal/flush writes that must
+                      bypass caches and reach the device *)
+}
+
+type payload =
+  | Posix of posix_op
+  | Kv of kv_op
+  | Block of block_op
+  | Control of int
+
+type result =
+  | Done
+  | Fd of int
+  | Size of int
+  | Denied of string
+  | Failed of string
+
+type t = {
+  id : int;
+  pid : int;
+  uid : int;
+  thread : int;
+  stack_id : int;
+  mutable hop : string;
+  payload : payload;
+  mutable result : result option;
+  mutable hint_hctx : int option;
+      (** hardware-queue steering decision made by a scheduler LabMod *)
+  submitted_at : float;
+}
+
+let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
+  {
+    id;
+    pid;
+    uid;
+    thread;
+    stack_id;
+    hop = "";
+    payload;
+    result = None;
+    hint_hctx = None;
+    submitted_at = now;
+  }
+
+let bytes_of t =
+  match t.payload with
+  | Posix (Pread { bytes; _ }) | Posix (Pwrite { bytes; _ }) -> bytes
+  | Kv (Put { bytes; _ }) -> bytes
+  | Block { b_bytes; _ } -> b_bytes
+  | Posix _ | Kv _ | Control _ -> 0
+
+let is_ok = function Done | Fd _ | Size _ -> true | Denied _ | Failed _ -> false
+
+let pp_payload fmt = function
+  | Posix (Open { path; create }) ->
+      Format.fprintf fmt "open(%s%s)" path (if create then ", O_CREAT" else "")
+  | Posix (Close { fd }) -> Format.fprintf fmt "close(%d)" fd
+  | Posix (Pread { fd; off; bytes; _ }) ->
+      Format.fprintf fmt "pread(%d, %d, %d)" fd off bytes
+  | Posix (Pwrite { fd; off; bytes; _ }) ->
+      Format.fprintf fmt "pwrite(%d, %d, %d)" fd off bytes
+  | Posix (Fsync { fd; _ }) -> Format.fprintf fmt "fsync(%d)" fd
+  | Posix (Create { path }) -> Format.fprintf fmt "create(%s)" path
+  | Posix (Unlink { path }) -> Format.fprintf fmt "unlink(%s)" path
+  | Posix (Rename { src; dst }) -> Format.fprintf fmt "rename(%s, %s)" src dst
+  | Kv (Put { key; bytes }) -> Format.fprintf fmt "put(%s, %d)" key bytes
+  | Kv (Get { key }) -> Format.fprintf fmt "get(%s)" key
+  | Kv (Delete { key }) -> Format.fprintf fmt "delete(%s)" key
+  | Block { b_kind; b_lba; b_bytes; _ } ->
+      Format.fprintf fmt "%s(lba=%d, %d)"
+        (match b_kind with Read -> "bread" | Write -> "bwrite")
+        b_lba b_bytes
+  | Control n -> Format.fprintf fmt "control(%d)" n
+
+let pp_result fmt = function
+  | Done -> Format.pp_print_string fmt "done"
+  | Fd fd -> Format.fprintf fmt "fd=%d" fd
+  | Size n -> Format.fprintf fmt "size=%d" n
+  | Denied msg -> Format.fprintf fmt "denied: %s" msg
+  | Failed msg -> Format.fprintf fmt "failed: %s" msg

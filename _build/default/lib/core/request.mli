@@ -1,0 +1,77 @@
+(** I/O requests flowing through LabStacks.
+
+    A request carries one operation from a well-defined interface
+    (POSIX, key-value, block, or control), plus the routing state the
+    Runtime needs: the originating client, the LabStack, and the current
+    position in its DAG. *)
+
+type io_kind = Read | Write
+
+type posix_op =
+  | Open of { path : string; create : bool }
+  | Close of { fd : int }
+  | Pread of { fd : int; path : string; off : int; bytes : int }
+  | Pwrite of { fd : int; path : string; off : int; bytes : int }
+  | Fsync of { fd : int; path : string }
+  | Create of { path : string }
+  | Unlink of { path : string }
+  | Rename of { src : string; dst : string }
+
+type kv_op =
+  | Put of { key : string; bytes : int }
+  | Get of { key : string }
+  | Delete of { key : string }
+
+type block_op = {
+  b_kind : io_kind;
+  b_lba : int;
+  b_bytes : int;
+  b_sync : bool;  (** force-unit-access: journal/flush writes that must
+                      bypass caches and reach the device *)
+}
+
+type payload =
+  | Posix of posix_op
+  | Kv of kv_op
+  | Block of block_op
+  | Control of int  (** opaque message, used by upgrade/dummy tests *)
+
+type result =
+  | Done
+  | Fd of int
+  | Size of int
+  | Denied of string
+  | Failed of string
+
+type t = {
+  id : int;
+  pid : int;  (** client process *)
+  uid : int;  (** credentials for permission checks *)
+  thread : int;  (** submitting thread, for CPU accounting *)
+  stack_id : int;
+  mutable hop : string;  (** UUID of the LabMod currently responsible *)
+  payload : payload;
+  mutable result : result option;
+  mutable hint_hctx : int option;
+      (** hardware-queue steering decision made by a scheduler LabMod *)
+  submitted_at : float;
+}
+
+val make :
+  id:int ->
+  pid:int ->
+  uid:int ->
+  thread:int ->
+  stack_id:int ->
+  now:float ->
+  payload ->
+  t
+
+val bytes_of : t -> int
+(** Payload size in bytes (0 for metadata/control operations). *)
+
+val is_ok : result -> bool
+
+val pp_payload : Format.formatter -> payload -> unit
+
+val pp_result : Format.formatter -> result -> unit

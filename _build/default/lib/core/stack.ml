@@ -1,0 +1,49 @@
+type t = {
+  id : int;
+  mount : string;
+  spec : Stack_spec.t;
+  exec_mode : Stack_spec.exec_mode;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let mod_type_of registry name =
+  match Registry.find_factory registry name with
+  | None -> None
+  | Some factory ->
+      (* Probe the factory for its module type without registering. *)
+      let probe = factory ~uuid:"__probe__" ~attrs:[] in
+      Some probe.Labmod.mod_type
+
+let instantiate registry spec ~id =
+  let* () = Stack_spec.validate spec ~mod_type_of:(mod_type_of registry) in
+  let* () =
+    List.fold_left
+      (fun acc (v : Stack_spec.vertex) ->
+        let* () = acc in
+        let* _m =
+          Registry.instantiate registry ~mod_name:v.mod_name ~uuid:v.uuid
+            ~attrs:v.attrs
+        in
+        Ok ())
+      (Ok ()) spec.Stack_spec.dag
+  in
+  Ok { id; mount = spec.Stack_spec.mount; spec; exec_mode = spec.Stack_spec.rules.Stack_spec.exec_mode }
+
+let entry_uuid t = (Stack_spec.entry t.spec).Stack_spec.uuid
+
+let vertex t uuid = Stack_spec.find_vertex t.spec uuid
+
+let next_uuids t uuid =
+  match vertex t uuid with
+  | Some v -> List.filter (fun o -> not (String.contains o ':')) v.Stack_spec.outputs
+  | None -> []
+
+let mods t registry =
+  List.filter_map
+    (fun (v : Stack_spec.vertex) -> Registry.find registry v.uuid)
+    t.spec.Stack_spec.dag
+
+let update_spec t registry spec =
+  let* fresh = instantiate registry { spec with Stack_spec.mount = t.mount } ~id:t.id in
+  Ok { fresh with exec_mode = spec.Stack_spec.rules.Stack_spec.exec_mode }

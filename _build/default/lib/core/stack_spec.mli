@@ -1,0 +1,67 @@
+(** LabStack specification files.
+
+    A LabStack is defined in a YAML document with three attributes: a
+    mount point, a set of governing rules (execution mode, priority,
+    authorized admins), and a DAG of LabMods — each vertex naming its
+    implementation, instance UUID, initialization attributes, and
+    outputs. Example:
+
+    {v
+    mount: "fs::/b"
+    rules:
+      exec_mode: async
+      priority: 1
+      admins: [root]
+    dag:
+      - uuid: labfs-1
+        mod: labfs
+        outputs: [lru-1]
+      - uuid: lru-1
+        mod: lru_cache
+        attrs:
+          capacity_mb: 64
+        outputs: [noop-1]
+      - uuid: noop-1
+        mod: noop_sched
+        outputs: [kdriver-1]
+      - uuid: kdriver-1
+        mod: kernel_driver
+    v} *)
+
+type exec_mode =
+  | Sync  (** the DAG runs inside the client thread *)
+  | Async  (** requests are shipped to Runtime workers *)
+
+type vertex = {
+  uuid : string;
+  mod_name : string;
+  attrs : (string * Yamlite.t) list;
+  outputs : string list;
+}
+
+type rules = { exec_mode : exec_mode; priority : int; admins : string list }
+
+type t = { mount : string; rules : rules; dag : vertex list }
+
+val default_rules : rules
+
+val of_yaml : Yamlite.t -> (t, string) result
+
+val parse : string -> (t, string) result
+(** Parse + structural extraction; does not validate the DAG. *)
+
+val validate :
+  ?max_length:int ->
+  t ->
+  mod_type_of:(string -> Labmod.mod_type option) ->
+  (unit, string) result
+(** Checks: non-empty DAG no longer than [max_length] (default 16),
+    unique UUIDs, outputs referencing known vertices, acyclicity, every
+    implementation installed, and interface compatibility along each
+    edge ({!Labmod.compatible_downstream}). The first vertex is the
+    stack's entry point. *)
+
+val entry : t -> vertex
+(** First vertex of the DAG. Raises [Invalid_argument] on empty DAG. *)
+
+val find_vertex : t -> string -> vertex option

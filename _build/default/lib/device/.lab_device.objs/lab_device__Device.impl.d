@@ -1,0 +1,1 @@
+lib/device/device.ml: Array Engine Lab_sim Mailbox Profile Queue Semaphore Stats Stdlib Waitq

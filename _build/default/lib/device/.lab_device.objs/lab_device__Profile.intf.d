@@ -1,0 +1,1 @@
+lib/device/profile.mli: Format

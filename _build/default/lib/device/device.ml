@@ -1,0 +1,250 @@
+open Lab_sim
+
+type io_kind = Read | Write
+
+type completion = {
+  c_kind : io_kind;
+  c_lba : int;
+  c_bytes : int;
+  c_submitted : float;
+  c_completed : float;
+}
+
+type request = {
+  kind : io_kind;
+  lba : int;
+  bytes : int;
+  submitted : float;
+  on_complete : completion -> unit;
+}
+
+type transfer_item = { treq : request; tbytes : int; resume : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  profile : Profile.t;
+  queues : request Mailbox.t array;
+  channels : Semaphore.t;
+  (* Shared-bandwidth stage: one server draining per-hctx transfer
+     queues round-robin, as NVMe controllers arbitrate across
+     submission queues — a loaded queue cannot starve the others. *)
+  transfer_queues : transfer_item Queue.t array;
+  transfer_bell : unit Waitq.t;
+  mutable last_lba : int;  (* head position, for seek modelling *)
+  mutable outstanding : int;
+  flush_waiters : unit Waitq.t;
+  mutable completed_reads : int;
+  mutable completed_writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  service : Stats.t;
+}
+
+let profile t = t.profile
+
+let engine t = t.engine
+
+let n_hw_queues t = Array.length t.queues
+
+let outstanding t = t.outstanding
+
+let completed_reads t = t.completed_reads
+
+let completed_writes t = t.completed_writes
+
+let bytes_read t = t.bytes_read
+
+let bytes_written t = t.bytes_written
+
+let service_stats t = t.service
+
+let reset_stats t =
+  t.completed_reads <- 0;
+  t.completed_writes <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  Stats.clear t.service
+
+let latency_of t kind =
+  match kind with
+  | Read -> t.profile.Profile.read_latency_ns
+  | Write -> t.profile.Profile.write_latency_ns
+
+(* A command is sequential if it starts where the previous one ended. *)
+let seek_cost t lba bytes =
+  if t.profile.Profile.avg_seek_ns <= 0.0 then 0.0
+  else begin
+    let block = t.profile.Profile.block_size in
+    let here = t.last_lba in
+    let next = lba + ((bytes + block - 1) / block) in
+    t.last_lba <- next;
+    if lba = here then 0.0 else t.profile.Profile.avg_seek_ns
+  end
+
+let complete t req =
+  let completion =
+    {
+      c_kind = req.kind;
+      c_lba = req.lba;
+      c_bytes = req.bytes;
+      c_submitted = req.submitted;
+      c_completed = Engine.now t.engine;
+    }
+  in
+  Stats.add t.service (completion.c_completed -. completion.c_submitted);
+  (match req.kind with
+  | Read ->
+      t.completed_reads <- t.completed_reads + 1;
+      t.bytes_read <- t.bytes_read + req.bytes
+  | Write ->
+      t.completed_writes <- t.completed_writes + 1;
+      t.bytes_written <- t.bytes_written + req.bytes);
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then ignore (Waitq.wake_all t.flush_waiters ());
+  req.on_complete completion
+
+let service t qidx req () =
+  let latency = latency_of t req.kind +. seek_cost t req.lba req.bytes in
+  Engine.wait latency;
+  Semaphore.release t.channels;
+  (* Transfer stage: enqueue on this hctx's transfer queue and wait for
+     the round-robin arbiter to move the payload. *)
+  Engine.suspend (fun resume ->
+      Queue.add { treq = req; tbytes = req.bytes; resume } t.transfer_queues.(qidx);
+      ignore (Waitq.wake t.transfer_bell ()));
+  complete t req
+
+(* The bandwidth arbiter: round-robin over the per-hctx transfer
+   queues, except that small commands form an urgent class (NVMe
+   weighted-round-robin arbitration) and are served ahead of bulk
+   transfers; parks when everything is drained. *)
+let urgent_bytes = 16384
+
+let transfer_arbiter t () =
+  let n = Array.length t.transfer_queues in
+  let cursor = ref 0 in
+  let take_urgent () =
+    let found = ref None in
+    for i = 0 to n - 1 do
+      if !found = None then begin
+        let idx = (!cursor + i) mod n in
+        let q = t.transfer_queues.(idx) in
+        match Queue.peek_opt q with
+        | Some item when item.tbytes <= urgent_bytes ->
+            found := Queue.take_opt q;
+            (* Keep the scan fair: continue after the queue served. *)
+            cursor := (idx + 1) mod n
+        | _ -> ()
+      end
+    done;
+    !found
+  in
+  let rec round_robin tries =
+    if tries = n then None
+    else begin
+      let q = t.transfer_queues.(!cursor) in
+      cursor := (!cursor + 1) mod n;
+      match Queue.take_opt q with
+      | Some item -> Some item
+      | None -> round_robin (tries + 1)
+    end
+  in
+  let next_item _ =
+    match take_urgent () with Some i -> Some i | None -> round_robin 0
+  in
+  while true do
+    match next_item 0 with
+    | Some item ->
+        Engine.wait
+          (Stdlib.float_of_int item.tbytes /. t.profile.Profile.bandwidth_bytes_per_ns);
+        item.resume ()
+    | None ->
+        let slot = ref None in
+        Waitq.park t.transfer_bell slot
+  done
+
+(* One dispatcher per hardware queue: enforces FIFO service *start*
+   within the queue while the channel semaphore caps global
+   parallelism. *)
+let dispatcher t qidx () =
+  let q = t.queues.(qidx) in
+  while true do
+    let req = Mailbox.get q in
+    Semaphore.acquire t.channels;
+    Engine.spawn t.engine (service t qidx req)
+  done
+
+let create engine profile =
+  let open Profile in
+  let t =
+    {
+      engine;
+      profile;
+      queues = Array.init profile.n_hw_queues (fun _ -> Mailbox.create ());
+      channels = Semaphore.create profile.n_channels;
+      transfer_queues = Array.init profile.n_hw_queues (fun _ -> Queue.create ());
+      transfer_bell = Waitq.create ();
+      last_lba = 0;
+      outstanding = 0;
+      flush_waiters = Waitq.create ();
+      completed_reads = 0;
+      completed_writes = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+      service = Stats.create ();
+    }
+  in
+  for i = 0 to profile.n_hw_queues - 1 do
+    Engine.spawn engine (dispatcher t i)
+  done;
+  Engine.spawn engine (transfer_arbiter t);
+  t
+
+(* Maximum data per command (MDTS): larger operations are split into a
+   train of commands so one huge transfer cannot monopolize the
+   bandwidth arbiter — the mechanism that keeps latency-sensitive
+   queues usable next to bulk streams. *)
+let max_transfer_bytes = 256 * 1024
+
+let submit t ~hctx ~kind ~lba ~bytes ~on_complete =
+  if bytes <= 0 then invalid_arg "Device.submit: bytes must be positive";
+  let hctx = hctx mod Array.length t.queues in
+  let block = t.profile.Profile.block_size in
+  let nchunks = (bytes + max_transfer_bytes - 1) / max_transfer_bytes in
+  let remaining = ref nchunks in
+  let last_completion = ref None in
+  let chunk_done c =
+    last_completion := Some c;
+    decr remaining;
+    if !remaining = 0 then
+      on_complete { c with c_bytes = bytes; c_lba = lba }
+  in
+  for i = 0 to nchunks - 1 do
+    let off = i * max_transfer_bytes in
+    let len = Stdlib.min max_transfer_bytes (bytes - off) in
+    t.outstanding <- t.outstanding + 1;
+    let req =
+      {
+        kind;
+        lba = lba + (off / block);
+        bytes = len;
+        submitted = Engine.now t.engine;
+        on_complete = chunk_done;
+      }
+    in
+    Mailbox.put t.queues.(hctx) req
+  done
+
+let submit_wait t ~hctx ~kind ~lba ~bytes =
+  let result = ref None in
+  Engine.suspend (fun resume ->
+      submit t ~hctx ~kind ~lba ~bytes ~on_complete:(fun c ->
+          result := Some c;
+          resume ()));
+  match !result with Some c -> c | None -> assert false
+
+let flush t =
+  if t.outstanding > 0 then begin
+    let slot = ref None in
+    Waitq.park t.flush_waiters slot
+  end

@@ -1,0 +1,1 @@
+lib/ipc/ipc_manager.ml: Engine Float Hashtbl Lab_sim List Qp Shmem Waitq

@@ -1,0 +1,1 @@
+lib/ipc/ipc_manager.mli: Lab_sim Qp Shmem

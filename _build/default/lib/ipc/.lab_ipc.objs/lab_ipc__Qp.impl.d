@@ -1,0 +1,1 @@
+lib/ipc/qp.ml: Engine Lab_sim List Ring Waitq

@@ -1,0 +1,1 @@
+lib/ipc/qp.mli: Lab_sim

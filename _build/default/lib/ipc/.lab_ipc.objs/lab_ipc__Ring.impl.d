@@ -1,0 +1,1 @@
+lib/ipc/ring.ml: Array

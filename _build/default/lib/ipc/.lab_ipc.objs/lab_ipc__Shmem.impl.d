@@ -1,0 +1,1 @@
+lib/ipc/shmem.ml: Hashtbl Printf

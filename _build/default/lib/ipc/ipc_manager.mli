@@ -1,0 +1,65 @@
+(** IPC Manager: connection handshakes, queue-pair allocation backed by
+    shared-memory regions, and runtime-liveness tracking used by crash
+    recovery.
+
+    ['req] is the request payload type carried by queue pairs (the
+    LabStor request record, supplied by the core library). *)
+
+type 'req t
+
+type connection = {
+  pid : Shmem.process_id;
+  uid : int;
+  region : Shmem.region_id;  (** region holding this client's primary queues *)
+}
+
+val create : Lab_sim.Engine.t -> 'req t
+
+val engine : 'req t -> Lab_sim.Engine.t
+
+val shmem : 'req t -> Shmem.t
+
+val connect : 'req t -> pid:int -> uid:int -> connection
+(** Models the UNIX-domain-socket handshake: allocates and grants a
+    queue region, records credentials, and charges the handshake
+    latency. Must run inside a simulated process. *)
+
+val disconnect : 'req t -> connection -> unit
+
+val credentials : 'req t -> pid:int -> int option
+(** The uid a connected process authenticated with. *)
+
+val create_qp :
+  'req t ->
+  connection ->
+  ?sq_depth:int ->
+  ?cq_depth:int ->
+  role:Qp.role ->
+  ordering:Qp.ordering ->
+  unit ->
+  'req Qp.t
+(** Allocates a queue pair owned by [connection]. Primary queues live in
+    the connection's shared region; intermediate queues are private. *)
+
+val qp : 'req t -> int -> 'req Qp.t option
+
+val qps : 'req t -> 'req Qp.t list
+(** All live queue pairs, in allocation order. *)
+
+val primary_qps : 'req t -> 'req Qp.t list
+
+val qps_of_connection : 'req t -> connection -> 'req Qp.t list
+
+val destroy_qp : 'req t -> 'req Qp.t -> unit
+
+(** {2 Runtime liveness} *)
+
+val online : 'req t -> bool
+
+val set_online : 'req t -> bool -> unit
+(** Transitioning to online wakes every process blocked in
+    {!wait_online}. *)
+
+val wait_online : 'req t -> timeout_ns:float -> bool
+(** Blocks until the runtime is online or [timeout_ns] elapses; returns
+    whether the runtime came back. Must run inside a process. *)

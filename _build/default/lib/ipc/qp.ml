@@ -1,0 +1,110 @@
+open Lab_sim
+
+type role = Primary | Intermediate
+
+type ordering = Ordered | Unordered
+
+type mark = Normal | Update_pending | Update_acked
+
+type 'a t = {
+  qp_id : int;
+  sq : 'a Ring.t;
+  cq : 'a Ring.t;
+  qp_role : role;
+  qp_ordering : ordering;
+  mutable qp_mark : mark;
+  mutable bells : unit Waitq.t list;
+  cq_waiters : unit Waitq.t;
+}
+
+let create ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
+  {
+    qp_id = id;
+    sq = Ring.create ~capacity:sq_depth;
+    cq = Ring.create ~capacity:cq_depth;
+    qp_role = role;
+    qp_ordering = ordering;
+    qp_mark = Normal;
+    bells = [];
+    cq_waiters = Waitq.create ();
+  }
+
+let id t = t.qp_id
+
+let role t = t.qp_role
+
+let ordering t = t.qp_ordering
+
+let mark t = t.qp_mark
+
+let set_mark t m = t.qp_mark <- m
+
+let ring_bell t = List.iter (fun w -> ignore (Waitq.wake w ())) t.bells
+
+let backpressure_delay = 200.0
+
+let try_submit t v =
+  let ok = Ring.try_push t.sq v in
+  if ok then ring_bell t;
+  ok
+
+let rec submit t v =
+  if not (try_submit t v) then begin
+    Engine.wait backpressure_delay;
+    submit t v
+  end
+
+let try_completion t = Ring.try_pop t.cq
+
+let await_completion t =
+  match try_completion t with
+  | Some v -> v
+  | None ->
+      let slot = ref None in
+      Waitq.park t.cq_waiters slot;
+      (* A completer placed our entry (or we raced another waiter; keep
+         trying — FIFO park order bounds this). *)
+      let rec take () =
+        match try_completion t with
+        | Some v -> v
+        | None ->
+            let slot = ref None in
+            Waitq.park t.cq_waiters slot;
+            take ()
+      in
+      take ()
+
+let wait_completion_event t =
+  let slot = ref None in
+  Waitq.park t.cq_waiters slot
+
+let wake_all_waiters t = ignore (Waitq.wake_all t.cq_waiters ())
+
+let poll_sq t = Ring.try_pop t.sq
+
+let peek_sq t = Ring.peek t.sq
+
+let rec complete t v =
+  if Ring.try_push t.cq v then ignore (Waitq.wake t.cq_waiters ())
+  else begin
+    Engine.wait backpressure_delay;
+    complete t v
+  end
+
+let sq_depth t = Ring.length t.sq
+
+let cq_depth t = Ring.length t.cq
+
+let total_submitted t = Ring.total_pushed t.sq
+
+let set_doorbell t w =
+  t.bells <- (match w with None -> [] | Some b -> [ b ])
+
+let add_doorbell t b =
+  if not (List.exists (fun b' -> b' == b) t.bells) then t.bells <- b :: t.bells
+
+let remove_doorbell t b = t.bells <- List.filter (fun b' -> not (b' == b)) t.bells
+
+let doorbell t = match t.bells with [] -> None | b :: _ -> Some b
+
+let doorbells t = t.bells

@@ -1,0 +1,91 @@
+(** Queue pairs: a submission ring and a completion ring, the unit of
+    client↔runtime communication.
+
+    Properties from the paper: {e primary} queues carry requests
+    initiated by clients; {e intermediate} queues carry requests spawned
+    by other requests. {e Ordered} queues must be drained by a single
+    worker in sequence; {e unordered} queues may be drained by many.
+    Queues carry an upgrade mark used by the Module Manager's live
+    upgrade protocol.
+
+    Time costs of ring operations are charged by the caller (see
+    {!Lab_sim.Costs}); this module only manages structure, blocking and
+    wake-ups. *)
+
+type role = Primary | Intermediate
+
+type ordering = Ordered | Unordered
+
+type mark = Normal | Update_pending | Update_acked
+
+type 'a t
+
+val create :
+  ?sq_depth:int -> ?cq_depth:int -> role:role -> ordering:ordering -> id:int -> unit -> 'a t
+
+val id : 'a t -> int
+
+val role : 'a t -> role
+
+val ordering : 'a t -> ordering
+
+val mark : 'a t -> mark
+
+val set_mark : 'a t -> mark -> unit
+
+(** {2 Client side} *)
+
+val submit : 'a t -> 'a -> unit
+(** Enqueues into the submission ring, retrying with a poll delay under
+    backpressure. Rings the assigned worker's doorbell. Must run inside
+    a simulated process. *)
+
+val try_submit : 'a t -> 'a -> bool
+(** Non-blocking variant; still rings the doorbell on success. *)
+
+val await_completion : 'a t -> 'a
+(** Blocks the calling process until a completion entry is available. *)
+
+val try_completion : 'a t -> 'a option
+
+val wait_completion_event : 'a t -> unit
+(** Parks until a completion is posted {e or} the waiters are flushed by
+    {!wake_all_waiters}; the caller must re-check the completion ring.
+    Lets clients detect Runtime crashes instead of sleeping forever. *)
+
+val wake_all_waiters : 'a t -> unit
+(** Wakes every process blocked on completions (crash notification). *)
+
+(** {2 Worker side} *)
+
+val poll_sq : 'a t -> 'a option
+(** Non-blocking pop from the submission ring. *)
+
+val peek_sq : 'a t -> 'a option
+
+val complete : 'a t -> 'a -> unit
+(** Pushes into the completion ring and wakes a client blocked in
+    {!await_completion}. Retries under backpressure. *)
+
+val sq_depth : 'a t -> int
+(** Requests currently queued for service (orchestrator input). *)
+
+val cq_depth : 'a t -> int
+
+val total_submitted : 'a t -> int
+
+val set_doorbell : 'a t -> unit Lab_sim.Waitq.t option -> unit
+(** Attaches the doorbell of the worker assigned to this queue: each
+    submission wakes that worker if it is idle-parked. [None] clears
+    every attached doorbell. *)
+
+val add_doorbell : 'a t -> unit Lab_sim.Waitq.t -> unit
+(** Unordered queues may be drained by several workers: attach another
+    doorbell. Submissions ring every attached doorbell. Idempotent. *)
+
+val remove_doorbell : 'a t -> unit Lab_sim.Waitq.t -> unit
+
+val doorbell : 'a t -> unit Lab_sim.Waitq.t option
+(** The first attached doorbell, if any. *)
+
+val doorbells : 'a t -> unit Lab_sim.Waitq.t list

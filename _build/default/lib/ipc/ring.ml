@@ -1,0 +1,45 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  mutable head : int;  (* next pop position (consumer index) *)
+  mutable tail : int;  (* next push position (producer index) *)
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let cap = next_pow2 capacity in
+  { slots = Array.make cap None; mask = cap - 1; head = 0; tail = 0 }
+
+let capacity t = Array.length t.slots
+
+let length t = t.tail - t.head
+
+let is_empty t = t.head = t.tail
+
+let is_full t = length t = capacity t
+
+let try_push t v =
+  if is_full t then false
+  else begin
+    t.slots.(t.tail land t.mask) <- Some v;
+    t.tail <- t.tail + 1;
+    true
+  end
+
+let try_pop t =
+  if is_empty t then None
+  else begin
+    let idx = t.head land t.mask in
+    let v = t.slots.(idx) in
+    t.slots.(idx) <- None;
+    t.head <- t.head + 1;
+    v
+  end
+
+let peek t = if is_empty t then None else t.slots.(t.head land t.mask)
+
+let total_pushed t = t.tail

@@ -1,0 +1,26 @@
+(** Bounded ring buffer with power-of-two capacity and masked indices —
+    the layout of LabStor's shared-memory submission/completion queues.
+    Pure data structure: callers account for the time cost of
+    operations. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two; must be positive. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val is_full : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+
+val try_pop : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+
+val total_pushed : 'a t -> int
+(** Lifetime count of successful pushes (producer index). *)

@@ -1,0 +1,59 @@
+type region_id = int
+
+type process_id = int
+
+exception Permission_denied of string
+
+type region = {
+  size : int;
+  granted : (process_id, unit) Hashtbl.t;
+  mapped : (process_id, unit) Hashtbl.t;
+}
+
+type t = { regions : (region_id, region) Hashtbl.t; mutable next_id : int }
+
+let create () = { regions = Hashtbl.create 32; next_id = 0 }
+
+let allocate t ~owner ~size =
+  if size <= 0 then invalid_arg "Shmem.allocate: size must be positive";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let r = { size; granted = Hashtbl.create 4; mapped = Hashtbl.create 4 } in
+  Hashtbl.replace r.granted owner ();
+  Hashtbl.replace t.regions id r;
+  id
+
+let region t id =
+  match Hashtbl.find_opt t.regions id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Shmem: unknown region %d" id)
+
+let grant t id pid = Hashtbl.replace (region t id).granted pid ()
+
+let revoke t id pid =
+  let r = region t id in
+  Hashtbl.remove r.granted pid;
+  Hashtbl.remove r.mapped pid
+
+let map t id pid =
+  let r = region t id in
+  if not (Hashtbl.mem r.granted pid) then
+    raise
+      (Permission_denied
+         (Printf.sprintf "process %d has no grant for region %d" pid id));
+  Hashtbl.replace r.mapped pid ()
+
+let unmap t id pid = Hashtbl.remove (region t id).mapped pid
+
+let is_mapped t id pid = Hashtbl.mem (region t id).mapped pid
+
+let free t id =
+  let r = region t id in
+  if Hashtbl.length r.mapped > 0 then
+    invalid_arg (Printf.sprintf "Shmem.free: region %d still mapped" id);
+  Hashtbl.remove t.regions id
+
+let total_allocated t =
+  Hashtbl.fold (fun _ r acc -> acc + r.size) t.regions 0
+
+let region_count t = Hashtbl.length t.regions

@@ -1,0 +1,39 @@
+(** Shared-memory region manager (the ShMemMod of the paper).
+
+    Models vmalloc'd regions that the LabStor Runtime maps into selected
+    process address spaces via grants. Only access-control semantics and
+    sizes are modelled; payloads travel through queue pairs. *)
+
+type t
+
+type region_id = int
+
+type process_id = int
+
+exception Permission_denied of string
+
+val create : unit -> t
+
+val allocate : t -> owner:process_id -> size:int -> region_id
+(** Allocates a region; the owner is implicitly granted. *)
+
+val grant : t -> region_id -> process_id -> unit
+(** Grants mapping rights. Only meaningful before [map]. *)
+
+val revoke : t -> region_id -> process_id -> unit
+
+val map : t -> region_id -> process_id -> unit
+(** @raise Permission_denied if the process has no grant.
+    @raise Invalid_argument on unknown region. *)
+
+val unmap : t -> region_id -> process_id -> unit
+
+val is_mapped : t -> region_id -> process_id -> bool
+
+val free : t -> region_id -> unit
+(** @raise Invalid_argument while any process still maps the region. *)
+
+val total_allocated : t -> int
+(** Sum of live region sizes in bytes. *)
+
+val region_count : t -> int

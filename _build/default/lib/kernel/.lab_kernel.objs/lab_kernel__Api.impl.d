@@ -1,0 +1,1 @@
+lib/kernel/api.ml: Array Blk Costs Device Engine Lab_device Lab_sim Machine Stdlib

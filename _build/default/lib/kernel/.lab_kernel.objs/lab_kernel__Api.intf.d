@@ -1,0 +1,1 @@
+lib/kernel/api.mli: Blk Lab_device Lab_sim

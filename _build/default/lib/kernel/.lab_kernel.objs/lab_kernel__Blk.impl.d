@@ -1,0 +1,1 @@
+lib/kernel/blk.ml: Array Costs Device Engine Lab_device Lab_sim Machine Stdlib

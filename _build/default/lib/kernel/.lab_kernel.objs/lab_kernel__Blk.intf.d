@@ -1,0 +1,1 @@
+lib/kernel/blk.mli: Lab_device Lab_sim

@@ -1,0 +1,1 @@
+lib/kernel/kfs.ml: Array Blk Costs Device Hashtbl Lab_device Lab_sim List Machine Option Page_cache Profile Semaphore Stdlib String

@@ -1,0 +1,1 @@
+lib/kernel/kfs.mli: Blk Lab_sim

@@ -1,0 +1,1 @@
+lib/kernel/page_cache.ml: Costs Lab_sim Lru Machine Option Stdlib

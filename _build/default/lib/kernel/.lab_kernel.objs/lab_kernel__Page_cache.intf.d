@@ -1,0 +1,1 @@
+lib/kernel/page_cache.mli: Lab_sim

@@ -1,0 +1,89 @@
+open Lab_sim
+open Lab_device
+
+type sched = Noop | Blk_switch
+
+type t = {
+  machine : Machine.t;
+  dev : Device.t;
+  mutable scheduler : sched;
+  inflight_reqs : int array;
+  inflight_bytes : float array;
+}
+
+let create machine dev ~sched =
+  let n = Device.n_hw_queues dev in
+  {
+    machine;
+    dev;
+    scheduler = sched;
+    inflight_reqs = Array.make n 0;
+    inflight_bytes = Array.make n 0.0;
+  }
+
+let device t = t.dev
+
+let set_sched t s = t.scheduler <- s
+
+let sched t = t.scheduler
+
+let inflight t q = t.inflight_reqs.(q)
+
+(* blk-switch separates latency-critical (small) requests from
+   throughput requests: the last quarter of the hardware queues is
+   reserved for small I/O, and within each class requests steer to the
+   least-loaded queue. *)
+let lq_threshold_bytes = 16384
+
+let select_hctx t ~thread ~bytes =
+  let n = Array.length t.inflight_reqs in
+  match t.scheduler with
+  | Noop -> thread mod n
+  | Blk_switch ->
+      let reserved = Stdlib.max 1 (n / 4) in
+      let lo, hi =
+        if bytes <= lq_threshold_bytes then (n - reserved, n - 1)
+        else (0, n - reserved - 1)
+      in
+      let lo, hi = if lo > hi then (0, n - 1) else (lo, hi) in
+      let best = ref lo in
+      for q = lo to hi do
+        if t.inflight_bytes.(q) < t.inflight_bytes.(!best) then best := q
+      done;
+      !best
+
+let track_start t q bytes =
+  t.inflight_reqs.(q) <- t.inflight_reqs.(q) + 1;
+  t.inflight_bytes.(q) <- t.inflight_bytes.(q) +. Stdlib.float_of_int bytes
+
+let track_end t q bytes =
+  t.inflight_reqs.(q) <- t.inflight_reqs.(q) - 1;
+  t.inflight_bytes.(q) <- t.inflight_bytes.(q) -. Stdlib.float_of_int bytes
+
+let note_dispatch t ~hctx ~bytes = track_start t hctx bytes
+
+let note_completion t ~hctx ~bytes = track_end t hctx bytes
+
+let submit_bio_wait t ~thread ~kind ~lba ~bytes ~polled =
+  let costs = t.machine.Machine.costs in
+  (* Request allocation + scheduler bookkeeping. *)
+  Machine.compute t.machine ~thread (costs.Costs.kalloc_ns +. costs.Costs.lock_ns);
+  let q = select_hctx t ~thread ~bytes in
+  track_start t q bytes;
+  ignore (Device.submit_wait t.dev ~hctx:q ~kind ~lba ~bytes);
+  track_end t q bytes;
+  if not polled then
+    (* IRQ handling plus waking and rescheduling the blocked thread. *)
+    Machine.compute t.machine ~thread
+      (costs.Costs.interrupt_ns +. costs.Costs.wakeup_ns)
+  else
+    (* One poll iteration notices the completion. *)
+    Engine.wait costs.Costs.poll_spin_ns
+
+let submit_io_to_hctx t ~thread ~hctx ~kind ~lba ~bytes ~on_complete =
+  let costs = t.machine.Machine.costs in
+  Machine.compute t.machine ~thread costs.Costs.kalloc_ns;
+  track_start t hctx bytes;
+  Device.submit t.dev ~hctx ~kind ~lba ~bytes ~on_complete:(fun _ ->
+      track_end t hctx bytes;
+      on_complete ())

@@ -1,0 +1,1 @@
+lib/labstor/labstor.ml: Lab_core Lab_device Lab_ipc Lab_kernel Lab_mods Lab_runtime Lab_sim Lab_workloads Platform

@@ -1,0 +1,1 @@
+lib/labstor/platform.ml: Device Engine Lab_device Lab_mods Lab_runtime Lab_sim List Machine Option Profile Stdlib String

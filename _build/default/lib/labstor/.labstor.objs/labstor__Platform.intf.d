@@ -1,0 +1,1 @@
+lib/labstor/platform.mli: Lab_core Lab_device Lab_mods Lab_runtime Lab_sim

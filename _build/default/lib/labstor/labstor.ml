@@ -1,0 +1,27 @@
+(** LabStor in OCaml — top-level facade.
+
+    Re-exports every layer of the platform under one roof:
+
+    - {!Sim}: discrete-event simulation substrate (engine, CPU model,
+      cost constants, statistics)
+    - {!Device}: storage device models (HDD / SATA SSD / NVMe / PMEM)
+    - {!Ipc}: shared-memory regions and queue pairs
+    - {!Kernel}: simulated Linux kernel (block layer, page cache,
+      ext4/XFS/F2FS models, POSIX/AIO/libaio/io_uring APIs)
+    - {!Core}: the LabMod framework, Module Registry/Manager, LabStack
+      specs and Namespace
+    - {!Mods}: stock LabMods (LabFS, LabKVS, LRU cache, permissions,
+      compression, schedulers, drivers)
+    - {!Runtime}: workers, Work Orchestrator, client library
+    - {!Workloads}: FIO / FxMark / Filebench / LABIOS / PFS generators
+    - {!Platform}: one-call boot + mount + client entry point *)
+
+module Sim = Lab_sim
+module Device = Lab_device
+module Ipc = Lab_ipc
+module Kernel = Lab_kernel
+module Core = Lab_core
+module Mods = Lab_mods
+module Runtime = Lab_runtime
+module Workloads = Lab_workloads
+module Platform = Platform

@@ -1,0 +1,83 @@
+open Lab_sim
+open Lab_device
+
+type t = {
+  m : Machine.t;
+  rt : Lab_runtime.Runtime.t;
+  devs : (Profile.kind * Device.t) list;
+  backends : (Profile.kind * Lab_mods.Mods_env.backend) list;
+  mutable next_pid : int;
+}
+
+let backend_name kind = String.lowercase_ascii (Profile.kind_to_string kind)
+
+let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
+    ?(devices = [ Profile.Nvme ]) ?default_device ?(seed = 0xC0FFEE)
+    ?(workers_busy_poll = false) () =
+  let m = Machine.create ?costs ~seed ~ncores () in
+  let devices = if devices = [] then [ Profile.Nvme ] else devices in
+  let default_device = Option.value default_device ~default:(List.hd devices) in
+  let devs =
+    List.map (fun k -> (k, Device.create m.Machine.engine (Profile.of_kind k))) devices
+  in
+  let backends =
+    List.map (fun (k, d) -> (k, Lab_mods.Mods_env.backend_of_device m d)) devs
+  in
+  let policy =
+    Option.value policy ~default:(Lab_runtime.Orchestrator.Round_robin nworkers)
+  in
+  let config =
+    {
+      Lab_runtime.Runtime.default_config with
+      nworkers;
+      policy;
+      (* Workers occupy the top cores; client threads take the bottom. *)
+      worker_core_base = Stdlib.max 0 (ncores - nworkers);
+      workers_busy_poll;
+    }
+  in
+  let rt =
+    Lab_runtime.Runtime.create m ~config
+      ~backends:(List.map (fun (k, b) -> (backend_name k, b)) backends)
+      ~default_backend:(backend_name default_device) ()
+  in
+  Lab_runtime.Runtime.start rt;
+  { m; rt; devs; backends; next_pid = 1000 }
+
+let machine t = t.m
+
+let runtime t = t.rt
+
+let device t kind = List.assoc kind t.devs
+
+let backend t kind = List.assoc kind t.backends
+
+let mount t text = Lab_runtime.Runtime.mount_text t.rt text
+
+let mount_exn t text =
+  match mount t text with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Platform.mount_exn: " ^ e)
+
+let client t ?pid ?(uid = 1000) ~thread () =
+  let pid =
+    match pid with
+    | Some p -> p
+    | None ->
+        t.next_pid <- t.next_pid + 1;
+        t.next_pid
+  in
+  Lab_runtime.Client.connect t.rt ~pid ~uid ~thread ()
+
+let go t f =
+  let result = ref None in
+  Machine.spawn t.m (fun () -> result := Some (f ()));
+  let e = t.m.Machine.engine in
+  while !result = None && Engine.step e do
+    ()
+  done;
+  match !result with
+  | Some r -> r
+  | None -> failwith "Platform.go: process did not complete (deadlock?)"
+
+let now t = Machine.now t.m

@@ -1,0 +1,47 @@
+(** High-level entry point: boots a simulated machine with storage
+    devices and a LabStor Runtime, ready for stacks to be mounted and
+    clients to connect. This is the API the examples and benchmarks
+    use. *)
+
+type t
+
+val boot :
+  ?ncores:int ->
+  ?nworkers:int ->
+  ?policy:Lab_runtime.Orchestrator.policy ->
+  ?costs:Lab_sim.Costs.t ->
+  ?devices:Lab_device.Profile.kind list ->
+  ?default_device:Lab_device.Profile.kind ->
+  ?seed:int ->
+  ?workers_busy_poll:bool ->
+  unit ->
+  t
+(** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
+    device (plus any others listed). Backends are named after their
+    device kind in lowercase ("nvme", "ssd", "hdd", "pmem"). *)
+
+val machine : t -> Lab_sim.Machine.t
+
+val runtime : t -> Lab_runtime.Runtime.t
+
+val device : t -> Lab_device.Profile.kind -> Lab_device.Device.t
+(** @raise Not_found if the kind was not booted. *)
+
+val backend : t -> Lab_device.Profile.kind -> Lab_mods.Mods_env.backend
+
+val mount : t -> string -> (Lab_core.Stack.t, string) result
+(** Mounts a LabStack from its YAML specification text. *)
+
+val mount_exn : t -> string -> Lab_core.Stack.t
+
+val client : t -> ?pid:int -> ?uid:int -> thread:int -> unit -> Lab_runtime.Client.t
+(** Connects a client; must run inside a simulated process (e.g. within
+    {!go}). Fresh pids are assigned when omitted. *)
+
+val go : t -> (unit -> 'a) -> 'a
+(** [go t f] runs [f] as a simulated process to completion and returns
+    its result, then freezes the platform's background processes. Call
+    from outside the engine (top level of an example). *)
+
+val now : t -> float
+(** Virtual time, ns. *)

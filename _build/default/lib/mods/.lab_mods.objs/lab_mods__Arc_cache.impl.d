@@ -1,0 +1,1 @@
+lib/mods/arc_cache.ml: Costs Hashtbl Lab_core Lab_sim Labmod List Lru Machine Mod_util Option Registry Request Stdlib Yamlite

@@ -1,0 +1,1 @@
+lib/mods/arc_cache.mli: Lab_core Labmod Registry

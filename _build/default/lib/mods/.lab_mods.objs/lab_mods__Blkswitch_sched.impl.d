@@ -1,0 +1,1 @@
+lib/mods/blkswitch_sched.ml: Array Lab_core Lab_sim Labmod Machine Mod_util Registry Request Stdlib

@@ -1,0 +1,1 @@
+lib/mods/blkswitch_sched.mli: Lab_core Registry

@@ -1,0 +1,1 @@
+lib/mods/block_alloc.ml: Array List Stdlib

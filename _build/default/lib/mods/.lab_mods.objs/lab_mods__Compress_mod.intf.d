@@ -1,0 +1,1 @@
+lib/mods/compress_mod.mli: Lab_core Labmod Registry

@@ -1,0 +1,1 @@
+lib/mods/consistency_mod.ml: Lab_core Lab_sim Labmod List Mod_util Option Registry Request Semaphore Stdlib Yamlite

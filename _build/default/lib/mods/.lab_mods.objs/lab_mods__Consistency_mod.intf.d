@@ -1,0 +1,1 @@
+lib/mods/consistency_mod.mli: Lab_core Labmod Registry

@@ -1,0 +1,1 @@
+lib/mods/dax_driver.ml: Device Lab_core Lab_device Lab_sim Labmod Machine Mod_util Profile Registry Request Stdlib

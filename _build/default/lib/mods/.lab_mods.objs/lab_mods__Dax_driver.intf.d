@@ -1,0 +1,1 @@
+lib/mods/dax_driver.mli: Lab_core Lab_device Registry

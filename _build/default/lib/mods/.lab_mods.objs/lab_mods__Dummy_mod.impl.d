@@ -1,0 +1,1 @@
+lib/mods/dummy_mod.ml: Lab_core Lab_sim Labmod List Machine Mod_util Option Registry Request Yamlite

@@ -1,0 +1,1 @@
+lib/mods/dummy_mod.mli: Lab_core Labmod Registry

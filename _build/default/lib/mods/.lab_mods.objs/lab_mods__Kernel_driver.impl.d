@@ -1,0 +1,1 @@
+lib/mods/kernel_driver.ml: Blk Costs Engine Lab_core Lab_device Lab_kernel Lab_sim Labmod Machine Mod_util Registry Request Stdlib

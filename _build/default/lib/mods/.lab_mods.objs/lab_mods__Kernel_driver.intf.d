@@ -1,0 +1,1 @@
+lib/mods/kernel_driver.mli: Lab_core Lab_kernel Registry

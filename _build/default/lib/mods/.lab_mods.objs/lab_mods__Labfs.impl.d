@@ -1,0 +1,1 @@
+lib/mods/labfs.ml: Block_alloc Hashtbl Lab_core Lab_sim Labmod List Machine Mod_util Option Registry Request Stdlib Yamlite

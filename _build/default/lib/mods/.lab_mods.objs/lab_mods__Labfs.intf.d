@@ -1,0 +1,1 @@
+lib/mods/labfs.mli: Block_alloc Hashtbl Lab_core Labmod Registry

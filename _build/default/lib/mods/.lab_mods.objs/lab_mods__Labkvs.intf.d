@@ -1,0 +1,1 @@
+lib/mods/labkvs.mli: Lab_core Labmod Registry

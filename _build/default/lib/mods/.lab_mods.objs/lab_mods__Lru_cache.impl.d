@@ -1,0 +1,1 @@
+lib/mods/lru_cache.ml: Costs Lab_core Lab_sim Labmod List Lru Machine Mod_util Option Registry Request Stdlib Yamlite

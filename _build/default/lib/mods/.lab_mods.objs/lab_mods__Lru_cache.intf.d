@@ -1,0 +1,1 @@
+lib/mods/lru_cache.mli: Lab_core Labmod Registry

@@ -1,0 +1,1 @@
+lib/mods/lz77.mli:

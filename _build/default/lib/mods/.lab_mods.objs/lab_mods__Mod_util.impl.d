@@ -1,0 +1,1 @@
+lib/mods/mod_util.ml: Engine Lab_core Lab_device Lab_sim Labmod Request

@@ -1,0 +1,1 @@
+lib/mods/mod_util.mli: Lab_core Lab_device Labmod Request

@@ -1,0 +1,1 @@
+lib/mods/mods_env.mli: Lab_core Lab_device Lab_kernel Lab_sim Registry

@@ -1,0 +1,1 @@
+lib/mods/noop_sched.ml: Lab_core Lab_sim Labmod Machine Mod_util Registry Request

@@ -1,0 +1,1 @@
+lib/mods/noop_sched.mli: Lab_core Registry

@@ -1,0 +1,1 @@
+lib/mods/permissions.ml: Costs Lab_core Lab_sim Labmod List Machine Mod_util Option Printf Registry Request String Yamlite

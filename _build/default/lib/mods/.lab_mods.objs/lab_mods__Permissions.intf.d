@@ -1,0 +1,1 @@
+lib/mods/permissions.mli: Lab_core Labmod Registry

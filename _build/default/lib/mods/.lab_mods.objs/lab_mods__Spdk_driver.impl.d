@@ -1,0 +1,1 @@
+lib/mods/spdk_driver.ml: Costs Device Engine Lab_core Lab_device Lab_sim Labmod Machine Mod_util Profile Registry Request Stdlib

@@ -1,0 +1,1 @@
+lib/mods/spdk_driver.mli: Lab_core Lab_device Registry

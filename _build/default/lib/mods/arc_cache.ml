@@ -1,0 +1,252 @@
+open Lab_sim
+open Lab_core
+
+(* ------------------------------------------------------------------ *)
+(* Pure ARC                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Arc = struct
+  (* The four ARC lists, each an LRU ordering. T1/T2 hold resident
+     pages; B1/B2 are ghosts (metadata only). *)
+  type t = {
+    cap : int;
+    t1 : (int, unit) Lru.t;
+    t2 : (int, unit) Lru.t;
+    b1 : (int, unit) Lru.t;
+    b2 : (int, unit) Lru.t;
+    mutable p_val : int;  (* target size of t1, 0..cap *)
+    mutable last_evicted : int option;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Arc.create: capacity";
+    {
+      cap = capacity;
+      t1 = Lru.create ();
+      t2 = Lru.create ();
+      b1 = Lru.create ();
+      b2 = Lru.create ();
+      p_val = 0;
+      last_evicted = None;
+    }
+
+  let mem t k = Lru.mem t.t1 k || Lru.mem t.t2 k
+
+  let live_count t = Lru.length t.t1 + Lru.length t.t2
+
+  let ghost_count t = Lru.length t.b1 + Lru.length t.b2
+
+  let p t = t.p_val
+
+  let capacity t = t.cap
+
+  let evicted t = t.last_evicted
+
+  (* REPLACE: evict the LRU of t1 or t2 depending on p, moving the key
+     to the matching ghost list. *)
+  let replace t ~in_b2 =
+    let from_t1 =
+      let l1 = Lru.length t.t1 in
+      l1 >= 1 && (l1 > t.p_val || (in_b2 && l1 = t.p_val))
+    in
+    let victim_list, ghost = if from_t1 then (t.t1, t.b1) else (t.t2, t.b2) in
+    match Lru.lru victim_list with
+    | Some (k, ()) ->
+        ignore (Lru.remove victim_list k);
+        ignore (Lru.put ghost k ());
+        t.last_evicted <- Some k
+    | None -> ()
+
+  let trim_ghost ghost limit =
+    while Lru.length ghost > limit do
+      match Lru.lru ghost with
+      | Some (k, ()) -> ignore (Lru.remove ghost k)
+      | None -> ()
+    done
+
+  let touch t k =
+    t.last_evicted <- None;
+    if Lru.mem t.t1 k then begin
+      (* Hit in recency list: promote to frequency list. *)
+      ignore (Lru.remove t.t1 k);
+      ignore (Lru.put t.t2 k ());
+      true
+    end
+    else if Lru.mem t.t2 k then begin
+      ignore (Lru.find t.t2 k);
+      true
+    end
+    else if Lru.mem t.b1 k then begin
+      (* Ghost hit on the recency side: grow p. *)
+      let delta = Stdlib.max 1 (Lru.length t.b2 / Stdlib.max 1 (Lru.length t.b1)) in
+      t.p_val <- Stdlib.min t.cap (t.p_val + delta);
+      replace t ~in_b2:false;
+      ignore (Lru.remove t.b1 k);
+      ignore (Lru.put t.t2 k ());
+      false
+    end
+    else if Lru.mem t.b2 k then begin
+      (* Ghost hit on the frequency side: shrink p. *)
+      let delta = Stdlib.max 1 (Lru.length t.b1 / Stdlib.max 1 (Lru.length t.b2)) in
+      t.p_val <- Stdlib.max 0 (t.p_val - delta);
+      replace t ~in_b2:true;
+      ignore (Lru.remove t.b2 k);
+      ignore (Lru.put t.t2 k ());
+      false
+    end
+    else begin
+      (* Cold miss. Case IV of the paper's algorithm. *)
+      let l1 = Lru.length t.t1 + Lru.length t.b1 in
+      if l1 = t.cap then begin
+        if Lru.length t.t1 < t.cap then begin
+          (match Lru.lru t.b1 with
+          | Some (g, ()) -> ignore (Lru.remove t.b1 g)
+          | None -> ());
+          replace t ~in_b2:false
+        end
+        else begin
+          match Lru.lru t.t1 with
+          | Some (v, ()) ->
+              ignore (Lru.remove t.t1 v);
+              t.last_evicted <- Some v
+          | None -> ()
+        end
+      end
+      else if live_count t + ghost_count t >= t.cap then begin
+        if live_count t + ghost_count t >= 2 * t.cap then
+          trim_ghost t.b2 (Stdlib.max 0 (Lru.length t.b2 - 1));
+        if live_count t = t.cap then replace t ~in_b2:false
+      end;
+      ignore (Lru.put t.t1 k ());
+      false
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The LabMod                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type arc_state = {
+  arc : Arc.t;
+  dirty : (int, unit) Hashtbl.t;
+  page_bytes : int;
+  write_through : bool;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+type Labmod.state += State of arc_state
+
+let name = "arc_cache"
+
+let hits m = match m.Labmod.state with State s -> s.hit_count | _ -> 0
+
+let misses m = match m.Labmod.state with State s -> s.miss_count | _ -> 0
+
+let p_target m = match m.Labmod.state with State s -> Arc.p s.arc | _ -> 0
+
+let pages_of ~page_bytes lba bytes =
+  let first = lba and last = lba + ((bytes - 1) / page_bytes) in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let operate m ctx req =
+  match (m.Labmod.state, req.Request.payload) with
+  | State _, Request.Block { b_sync = true; _ } -> ctx.Labmod.forward req
+  | State s, Request.Block { b_kind; b_lba; b_bytes; b_sync = false } -> (
+      let machine = ctx.Labmod.machine in
+      let costs = machine.Machine.costs in
+      let copy = Costs.copy_cost costs b_bytes in
+      let pages = pages_of ~page_bytes:s.page_bytes b_lba b_bytes in
+      let npages = Stdlib.float_of_int (List.length pages) in
+      let writeback_evicted () =
+        match Arc.evicted s.arc with
+        | Some page when Hashtbl.mem s.dirty page ->
+            Hashtbl.remove s.dirty page;
+            ctx.Labmod.forward_async
+              {
+                req with
+                Request.payload =
+                  Request.Block
+                    {
+                      Request.b_kind = Request.Write;
+                      b_lba = page;
+                      b_bytes = s.page_bytes;
+                      b_sync = false;
+                    };
+              }
+        | Some page -> Hashtbl.remove s.dirty page
+        | None -> ()
+      in
+      match b_kind with
+      | Request.Write ->
+          Machine.compute machine ~thread:ctx.Labmod.thread
+            ((costs.Costs.cache_insert_ns *. npages) +. copy);
+          List.iter
+            (fun page ->
+              ignore (Arc.touch s.arc page);
+              writeback_evicted ();
+              Hashtbl.replace s.dirty page ())
+            pages;
+          if s.write_through then ctx.Labmod.forward req
+          else Request.Size b_bytes
+      | Request.Read ->
+          Machine.compute machine ~thread:ctx.Labmod.thread
+            (costs.Costs.cache_lookup_ns *. npages);
+          let all_resident = List.for_all (fun p -> Arc.mem s.arc p) pages in
+          if all_resident then begin
+            s.hit_count <- s.hit_count + 1;
+            List.iter
+              (fun page ->
+                ignore (Arc.touch s.arc page);
+                writeback_evicted ())
+              pages;
+            Machine.compute machine ~thread:ctx.Labmod.thread copy;
+            Request.Size b_bytes
+          end
+          else begin
+            s.miss_count <- s.miss_count + 1;
+            let result = ctx.Labmod.forward req in
+            Machine.compute machine ~thread:ctx.Labmod.thread
+              ((costs.Costs.cache_insert_ns *. npages) +. copy);
+            List.iter
+              (fun page ->
+                ignore (Arc.touch s.arc page);
+                writeback_evicted ())
+              pages;
+            result
+          end)
+  | _ -> Request.Failed "arc_cache: expects block requests"
+
+let est m req =
+  ignore m;
+  600.0 +. (0.35 *. Stdlib.float_of_int (Request.bytes_of req))
+
+let factory : Registry.factory =
+ fun ~uuid ~attrs ->
+  let capacity_mb =
+    Option.value ~default:64
+      (Option.bind (List.assoc_opt "capacity_mb" attrs) Yamlite.get_int)
+  in
+  let write_through =
+    Option.value ~default:false
+      (Option.bind (List.assoc_opt "write_through" attrs) Yamlite.get_bool)
+  in
+  let page_bytes = 4096 in
+  let capacity = Stdlib.max 1 (capacity_mb * 1024 * 1024 / page_bytes) in
+  Labmod.make ~name ~uuid ~mod_type:Labmod.Cache
+    ~state:
+      (State
+         {
+           arc = Arc.create ~capacity;
+           dirty = Hashtbl.create 1024;
+           page_bytes;
+           write_through;
+           hit_count = 0;
+           miss_count = 0;
+         })
+    {
+      Labmod.operate;
+      est_processing_time = est;
+      state_update = Mod_util.identity_state;
+      state_repair = Mod_util.no_repair;
+    }

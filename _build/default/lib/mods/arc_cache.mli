@@ -1,0 +1,51 @@
+(** ARC (Adaptive Replacement Cache) page-cache LabMod.
+
+    The paper motivates "exotic" cache policies (e.g. ML-driven
+    eviction) as LabMods; ARC is the classic self-tuning policy
+    (Megiddo & Modha, FAST'03): it balances a recency list (T1) against
+    a frequency list (T2) using ghost lists (B1/B2) of recently evicted
+    keys, adapting the target split [p] to the workload — resistant to
+    scans that flush plain LRU.
+
+    Drop-in interchangeable with [lru_cache] in any LabStack (same
+    module type, same attributes), demonstrating LabMod
+    interchangeability. *)
+
+open Lab_core
+
+val name : string
+
+val factory : Registry.factory
+(** Attributes: [capacity_mb] (default 64), [write_through] (default
+    false). *)
+
+val hits : Labmod.t -> int
+
+val misses : Labmod.t -> int
+
+val p_target : Labmod.t -> int
+(** Current adaptive target for the recency side, in pages. *)
+
+(** The pure ARC structure, exposed for property tests. *)
+module Arc : sig
+  type t
+
+  val create : capacity:int -> t
+
+  val mem : t -> int -> bool
+
+  val touch : t -> int -> bool
+  (** [touch t key] records an access; true on hit. Adapts [p] and
+      evicts per the ARC algorithm on miss. *)
+
+  val evicted : t -> int option
+  (** Key evicted by the most recent [touch], if any. *)
+
+  val live_count : t -> int
+
+  val ghost_count : t -> int
+
+  val p : t -> int
+
+  val capacity : t -> int
+end

@@ -1,0 +1,61 @@
+(* blk-switch I/O scheduler LabMod (after Hwang et al., the paper's §IV
+   scheduler case study): steers each request to the hardware queue with
+   the least outstanding bytes, so small latency-bound requests are not
+   stuck behind large transfers on the same queue (head-of-line
+   blocking). *)
+
+open Lab_sim
+open Lab_core
+
+type Labmod.state += State of { inflight_bytes : float array }
+
+let name = "blkswitch_sched"
+
+let decision_cost_ns = 400.0
+
+(* Small requests get the reserved tail queues (latency class); large
+   ones steer least-loaded across the rest — blk-switch's separation of
+   latency-critical from throughput traffic. *)
+let lq_threshold_bytes = 16384
+
+let pick inflight bytes =
+  let n = Array.length inflight in
+  let reserved = Stdlib.max 1 (n / 4) in
+  let lo, hi =
+    if bytes <= lq_threshold_bytes then (n - reserved, n - 1)
+    else (0, n - reserved - 1)
+  in
+  let lo, hi = if lo > hi then (0, n - 1) else (lo, hi) in
+  let best = ref lo in
+  for q = lo to hi do
+    if inflight.(q) < inflight.(!best) then best := q
+  done;
+  !best
+
+let operate m ctx req =
+  match m.Labmod.state with
+  | State { inflight_bytes } ->
+      Machine.compute ctx.Labmod.machine ~thread:ctx.Labmod.thread decision_cost_ns;
+      let bytes = Stdlib.float_of_int (Request.bytes_of req) in
+      let q = pick inflight_bytes (Request.bytes_of req) in
+      req.Request.hint_hctx <- Some q;
+      inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
+      let result = ctx.Labmod.forward req in
+      inflight_bytes.(q) <- inflight_bytes.(q) -. bytes;
+      result
+  | _ -> Request.Failed "blkswitch_sched: bad state"
+
+let factory ~nqueues : Registry.factory =
+ fun ~uuid ~attrs ->
+  ignore attrs;
+  Labmod.make ~name ~uuid ~mod_type:Labmod.Scheduler
+    ~state:(State { inflight_bytes = Array.make nqueues 0.0 })
+    {
+      Labmod.operate;
+      est_processing_time = (fun _ _ -> decision_cost_ns);
+      state_update =
+        (function
+        | State _ as s -> s
+        | other -> other);
+      state_repair = Mod_util.no_repair;
+    }

@@ -1,0 +1,14 @@
+(** blk-switch I/O scheduler LabMod (after Hwang et al., integrated as
+    the paper's §IV scheduler case study): reserves a fraction of the
+    hardware queues for latency-critical (small) requests and steers
+    each class to its least-loaded queue, eliminating head-of-line
+    blocking behind bulk transfers. *)
+
+open Lab_core
+
+val name : string
+
+val lq_threshold_bytes : int
+(** Requests at or below this size are treated as latency critical. *)
+
+val factory : nqueues:int -> Registry.factory

@@ -1,0 +1,45 @@
+(* DAX Driver LabMod: persistent memory mapped into the address space;
+   I/O is CPU load/store plus a persistence fence. The PMEM device
+   profile's latency/bandwidth stage models the NT-store path itself,
+   so the only extra cost here is the fence. *)
+
+open Lab_sim
+open Lab_core
+open Lab_device
+
+type Labmod.state += State of { device : Device.t }
+
+let name = "dax"
+
+let fence_cost_ns = 100.0
+
+let operate m ctx req =
+  match (m.Labmod.state, req.Request.payload) with
+  | State { device }, Request.Block { b_kind; b_lba; b_bytes; _ } ->
+      let machine = ctx.Labmod.machine in
+      let hctx = ctx.Labmod.thread mod Device.n_hw_queues device in
+      ignore
+        (Device.submit_wait device ~hctx ~kind:(Mod_util.device_kind b_kind)
+           ~lba:b_lba ~bytes:b_bytes);
+      Machine.compute machine ~thread:ctx.Labmod.thread fence_cost_ns;
+      Request.Size b_bytes
+  | _ -> Request.Failed "dax: expects block requests"
+
+let est m req =
+  ignore m;
+  match req.Request.payload with
+  | Request.Block { b_bytes; _ } -> 200.0 +. (0.12 *. Stdlib.float_of_int b_bytes)
+  | _ -> 200.0
+
+let factory ~device : Registry.factory =
+ fun ~uuid ~attrs ->
+  ignore attrs;
+  if not (Device.profile device).Profile.byte_addressable then
+    invalid_arg "dax: device is not byte addressable";
+  Labmod.make ~name ~uuid ~mod_type:Labmod.Driver ~state:(State { device })
+    {
+      Labmod.operate;
+      est_processing_time = est;
+      state_update = Mod_util.identity_state;
+      state_repair = Mod_util.no_repair;
+    }

@@ -1,0 +1,48 @@
+(* Kernel Driver LabMod: submits block I/O straight into the kernel's
+   multi-queue hardware dispatch queues (submit_io_to_hctx), bypassing
+   the upper block layer and the interrupt path — the client/worker
+   polls for completion. *)
+
+open Lab_sim
+open Lab_core
+open Lab_kernel
+
+type Labmod.state += State of { blk : Blk.t }
+
+let name = "kernel_driver"
+
+let operate m ctx req =
+  match (m.Labmod.state, req.Request.payload) with
+  | State { blk }, Request.Block { b_kind; b_lba; b_bytes; _ } ->
+      let machine = ctx.Labmod.machine in
+      let nq = Lab_device.Device.n_hw_queues (Blk.device blk) in
+      let hctx =
+        match req.Request.hint_hctx with
+        | Some h -> h mod nq
+        | None -> ctx.Labmod.thread mod nq
+      in
+      Mod_util.await_completion (fun done_ ->
+          Blk.submit_io_to_hctx blk ~thread:ctx.Labmod.thread ~hctx
+            ~kind:(Mod_util.device_kind b_kind) ~lba:b_lba ~bytes:b_bytes
+            ~on_complete:done_);
+      (* The poller notices the completion entry. *)
+      Engine.wait machine.Machine.costs.Costs.poll_spin_ns;
+      Request.Size b_bytes
+  | _ -> Request.Failed "kernel_driver: expects block requests"
+
+let est m req =
+  ignore m;
+  match req.Request.payload with
+  | Request.Block { b_bytes; _ } -> 1500.0 +. (0.01 *. Stdlib.float_of_int b_bytes)
+  | _ -> 500.0
+
+let factory ~blk : Registry.factory =
+ fun ~uuid ~attrs ->
+  ignore attrs;
+  Labmod.make ~name ~uuid ~mod_type:Labmod.Driver ~state:(State { blk })
+    {
+      Labmod.operate;
+      est_processing_time = est;
+      state_update = Mod_util.identity_state;
+      state_repair = Mod_util.no_repair;
+    }

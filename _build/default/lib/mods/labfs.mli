@@ -1,0 +1,54 @@
+(** LabFS: the paper's example POSIX filesystem LabMod.
+
+    Log-structured and crash-consistent: instead of on-disk inodes and
+    bitmaps, every metadata mutation appends a record to a per-instance
+    log; the in-memory inode hashmap is a pure function of the log and
+    is reconstructed by {!replay} on recovery. Block allocation uses the
+    scalable per-worker allocator ({!Block_alloc}) so concurrent workers
+    never contend. Log pages are flushed downstream when they fill
+    (group commit) and on fsync. *)
+
+open Lab_core
+
+type log_record =
+  | Rec_create of { path : string; ino : int }
+  | Rec_write of { ino : int; first_block : int; nblocks : int; size : int }
+  | Rec_unlink of { path : string }
+  | Rec_rename of { src : string; dst : string }
+
+type inode = {
+  ino : int;
+  mutable size : int;
+  mutable first_block : int;  (** -1 while unallocated *)
+  mutable nblocks : int;
+}
+
+val name : string
+
+val factory :
+  total_blocks:int -> nworkers:int -> ?block_size:int -> unit -> Registry.factory
+(** [block_size] defaults to 4096. The factory's [attrs] may override
+    [nworkers] (key ["nworkers"]). *)
+
+(** {2 Introspection for tests, recovery and benchmarks} *)
+
+val log_of : Labmod.t -> log_record list
+(** The metadata log, oldest record first. *)
+
+val inodes_of : Labmod.t -> (string * inode) list
+
+val replay : log_record list -> (string, inode) Hashtbl.t
+(** Rebuilds the inode table from a log (crash recovery). The result of
+    replaying a LabFS instance's log always equals its live table. *)
+
+val file_count : Labmod.t -> int
+
+val lookup : Labmod.t -> string -> inode option
+
+val allocator : Labmod.t -> Block_alloc.t
+
+val provenance : Labmod.t -> string -> log_record list
+(** Provenance tracking: the chronological history of the file
+    currently reachable at [path] — its creation, every extent
+    appended, and the renames that led to its current name. Empty if
+    the path does not exist. *)

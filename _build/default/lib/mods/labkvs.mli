@@ -1,0 +1,16 @@
+(** LabKVS: the paper's example key-value store LabMod. Same design as
+    LabFS (log-structured metadata, per-worker block allocation) with
+    put/get/delete semantics: one operation creates the key and stores
+    its value, versus the open-modify-close sequence POSIX requires —
+    the mechanism behind the LABIOS experiment (Figure 9b). *)
+
+open Lab_core
+
+val name : string
+
+val factory :
+  total_blocks:int -> nworkers:int -> ?block_size:int -> unit -> Registry.factory
+
+val key_count : Labmod.t -> int
+
+val mem : Labmod.t -> string -> bool

@@ -1,0 +1,142 @@
+(* LRU page-cache LabMod: write-through page cache over block requests.
+   Writes copy payload pages into the cache and continue downstream;
+   reads served from cache skip the device entirely. *)
+
+open Lab_sim
+open Lab_core
+
+type cache_state = {
+  pages : (int, bool ref) Lru.t;  (* page -> dirty flag *)
+  page_bytes : int;
+  write_through : bool;  (* policy knob: persist writes synchronously *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+type Labmod.state += State of cache_state
+
+let name = "lru_cache"
+
+let pages_of_req ~page_bytes lba bytes =
+  let first = lba and last = lba + ((bytes - 1) / page_bytes) in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let hits m =
+  match m.Labmod.state with State s -> s.hit_count | _ -> 0
+
+let misses m =
+  match m.Labmod.state with State s -> s.miss_count | _ -> 0
+
+let operate m ctx req =
+  match (m.Labmod.state, req.Request.payload) with
+  | State _, Request.Block { b_sync = true; _ } ->
+      (* Force-unit-access traffic (journal/flush writes) bypasses the
+         cache and goes straight to the device. *)
+      ctx.Labmod.forward req
+  | State s, Request.Block { b_kind; b_lba; b_bytes; b_sync = false } -> (
+      let machine = ctx.Labmod.machine in
+      let costs = machine.Machine.costs in
+      let copy = Costs.copy_cost costs b_bytes in
+      let pages = pages_of_req ~page_bytes:s.page_bytes b_lba b_bytes in
+      (* Write back an evicted dirty page asynchronously. *)
+      let writeback evicted =
+        match evicted with
+        | Some (page, dirty) when !dirty ->
+            let io =
+              {
+                req with
+                Request.payload =
+                  Request.Block
+                    {
+                      Request.b_kind = Request.Write;
+                      b_lba = page;
+                      b_bytes = s.page_bytes;
+                      b_sync = false;
+                    };
+              }
+            in
+            ctx.Labmod.forward_async io
+        | _ -> ()
+      in
+      match b_kind with
+      | Request.Write ->
+          if s.write_through then begin
+            (* Copy in, then persist synchronously. *)
+            Machine.compute machine ~thread:ctx.Labmod.thread
+              (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
+              +. copy);
+            List.iter (fun p -> ignore (Lru.put s.pages p (ref false))) pages;
+            ctx.Labmod.forward req
+          end
+          else begin
+            (* Write-back cache: the data is absorbed here and reaches
+               the device only when its pages are evicted (or flushed). *)
+            Machine.compute machine ~thread:ctx.Labmod.thread
+              (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
+              +. copy);
+            List.iter
+              (fun p ->
+                match Lru.find s.pages p with
+                | Some dirty -> dirty := true
+                | None -> writeback (Lru.put s.pages p (ref true)))
+              pages;
+            Request.Size b_bytes
+          end
+      | Request.Read ->
+          let all_cached = List.for_all (fun p -> Lru.mem s.pages p) pages in
+          Machine.compute machine ~thread:ctx.Labmod.thread
+            (costs.Costs.cache_lookup_ns *. Stdlib.float_of_int (List.length pages));
+          if all_cached then begin
+            s.hit_count <- s.hit_count + 1;
+            (* Promote + copy out. *)
+            List.iter (fun p -> ignore (Lru.find s.pages p)) pages;
+            Machine.compute machine ~thread:ctx.Labmod.thread copy;
+            Request.Size b_bytes
+          end
+          else begin
+            s.miss_count <- s.miss_count + 1;
+            let result = ctx.Labmod.forward req in
+            Machine.compute machine ~thread:ctx.Labmod.thread
+              (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
+              +. copy);
+            List.iter
+              (fun p ->
+                if not (Lru.mem s.pages p) then
+                  writeback (Lru.put s.pages p (ref false)))
+              pages;
+            result
+          end)
+  | _ -> Request.Failed "lru_cache: expects block requests"
+
+let est m req =
+  ignore m;
+  500.0 +. (0.35 *. Stdlib.float_of_int (Request.bytes_of req))
+
+let factory : Registry.factory =
+ fun ~uuid ~attrs ->
+  let capacity_mb =
+    Option.value ~default:64
+      (Option.bind (List.assoc_opt "capacity_mb" attrs) Yamlite.get_int)
+  in
+  let write_through =
+    Option.value ~default:false
+      (Option.bind (List.assoc_opt "write_through" attrs) Yamlite.get_bool)
+  in
+  let page_bytes = 4096 in
+  let capacity = Stdlib.max 1 (capacity_mb * 1024 * 1024 / page_bytes) in
+  Labmod.make ~name ~uuid ~mod_type:Labmod.Cache
+    ~state:
+      (State
+         {
+           pages = Lru.create ~capacity ();
+           page_bytes;
+           write_through;
+           hit_count = 0;
+           miss_count = 0;
+         })
+    {
+      Labmod.operate;
+      est_processing_time = est;
+      state_update = Mod_util.identity_state;
+      state_repair = Mod_util.no_repair;
+    }

@@ -1,0 +1,20 @@
+(** LRU page-cache LabMod.
+
+    Write-back by default: writes are absorbed and dirty pages reach
+    the device only on eviction; the [write_through] attribute persists
+    writes synchronously instead. Reads served from cache skip the rest
+    of the stack. Force-unit-access requests ([b_sync], e.g. journal
+    flushes) always bypass the cache.
+
+    Attributes: [capacity_mb] (default 64), [write_through] (default
+    false). *)
+
+open Lab_core
+
+val name : string
+
+val factory : Registry.factory
+
+val hits : Labmod.t -> int
+
+val misses : Labmod.t -> int

@@ -1,0 +1,109 @@
+(* Token stream format:
+     0x00 <len:u16le> <len literal bytes>
+     0x01 <dist:u16le> <len:u16le>          (back-reference)
+   Matches are at least [min_match] long; distances fit the window. *)
+
+let min_match = 4
+
+let max_match = 0xFFFF
+
+let hash3 b i =
+  let v =
+    Char.code (Bytes.get b i)
+    lor (Char.code (Bytes.get b (i + 1)) lsl 8)
+    lor (Char.code (Bytes.get b (i + 2)) lsl 16)
+  in
+  v * 2654435761 land 0xFFFF
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let flush_literals buf src start stop =
+  (* Emit pending literals in [start, stop) as one or more runs. *)
+  let pos = ref start in
+  while !pos < stop do
+    let n = Stdlib.min 0xFFFF (stop - !pos) in
+    Buffer.add_char buf '\x00';
+    put_u16 buf n;
+    Buffer.add_subbytes buf src !pos n;
+    pos := !pos + n
+  done
+
+let compress ?(window = 4096) src =
+  if window <= 0 || window > 0xFFFF then invalid_arg "Lz77.compress: window";
+  let n = Bytes.length src in
+  let buf = Buffer.create (n / 2) in
+  let head = Array.make 0x10000 (-1) in
+  let lit_start = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if !i + min_match <= n then begin
+      let h = hash3 src !i in
+      let candidate = head.(h) in
+      head.(h) <- !i;
+      let have_match =
+        candidate >= 0
+        && !i - candidate <= window
+        && candidate + min_match <= n
+        && Bytes.sub src candidate min_match = Bytes.sub src !i min_match
+      in
+      if have_match then begin
+        (* Extend the match as far as it goes. *)
+        let len = ref min_match in
+        while
+          !i + !len < n
+          && !len < max_match
+          && Bytes.get src (candidate + !len) = Bytes.get src (!i + !len)
+        do
+          incr len
+        done;
+        flush_literals buf src !lit_start !i;
+        Buffer.add_char buf '\x01';
+        put_u16 buf (!i - candidate);
+        put_u16 buf !len;
+        i := !i + !len;
+        lit_start := !i
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  flush_literals buf src !lit_start n;
+  Buffer.to_bytes buf
+
+let get_u16 src i =
+  Char.code (Bytes.get src i) lor (Char.code (Bytes.get src (i + 1)) lsl 8)
+
+let decompress src =
+  let n = Bytes.length src in
+  let buf = Buffer.create (2 * n) in
+  let i = ref 0 in
+  let bad () = invalid_arg "Lz77.decompress: corrupt stream" in
+  while !i < n do
+    if !i + 3 > n then bad ();
+    match Bytes.get src !i with
+    | '\x00' ->
+        let len = get_u16 src (!i + 1) in
+        if !i + 3 + len > n then bad ();
+        Buffer.add_subbytes buf src (!i + 3) len;
+        i := !i + 3 + len
+    | '\x01' ->
+        if !i + 5 > n then bad ();
+        let dist = get_u16 src (!i + 1) in
+        let len = get_u16 src (!i + 3) in
+        let out_len = Buffer.length buf in
+        if dist = 0 || dist > out_len then bad ();
+        (* Byte-by-byte copy: overlapping references replicate. *)
+        for k = 0 to len - 1 do
+          Buffer.add_char buf (Buffer.nth buf (out_len - dist + k))
+        done;
+        i := !i + 5
+    | _ -> bad ()
+  done;
+  Buffer.to_bytes buf
+
+let ratio src =
+  let n = Bytes.length src in
+  if n = 0 then 1.0
+  else Stdlib.float_of_int (Bytes.length (compress src)) /. Stdlib.float_of_int n

@@ -1,0 +1,15 @@
+(** A small LZ77-style compressor (fixed window, byte-oriented token
+    stream). Used by the Compression LabMod: the LabMod charges modelled
+    CPU time for the simulated payload sizes, while this implementation
+    provides the real algorithm for correctness testing and for callers
+    that do carry real buffers. *)
+
+val compress : ?window:int -> bytes -> bytes
+(** [window] is the back-reference window size (default 4096, max
+    65535). *)
+
+val decompress : bytes -> bytes
+(** Inverse of {!compress}. @raise Invalid_argument on corrupt input. *)
+
+val ratio : bytes -> float
+(** [compressed length / original length]; 1.0 for empty input. *)

@@ -1,0 +1,28 @@
+(* Shared helpers for LabMod implementations. *)
+
+open Lab_sim
+open Lab_core
+
+let device_kind = function
+  | Request.Read -> Lab_device.Device.Read
+  | Request.Write -> Lab_device.Device.Write
+
+(* Submit-then-await: issue an asynchronous operation from process
+   context and park until its completion callback fires. [submit] must
+   itself be safe to run in process context and call the completion
+   callback exactly once (possibly before returning). *)
+let await_completion submit =
+  let completed = ref false in
+  let resumer = ref None in
+  submit (fun () ->
+      completed := true;
+      match !resumer with Some r -> r () | None -> ());
+  if not !completed then Engine.suspend (fun r -> resumer := Some r)
+
+let identity_state : Labmod.state -> Labmod.state = fun s -> s
+
+let no_repair (_ : Labmod.t) = ()
+
+let ok_or_failed name = function
+  | Some r -> r
+  | None -> Request.Failed (name ^ ": unsupported request payload")

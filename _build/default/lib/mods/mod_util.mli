@@ -1,0 +1,18 @@
+(** Shared helpers for LabMod implementations. *)
+
+open Lab_core
+
+val device_kind : Request.io_kind -> Lab_device.Device.io_kind
+
+val await_completion : ((unit -> unit) -> unit) -> unit
+(** [await_completion submit] issues an asynchronous operation from
+    process context and parks until its completion callback fires.
+    [submit] must call the callback exactly once (possibly before
+    returning). *)
+
+val identity_state : Labmod.state -> Labmod.state
+(** The common [state_update]: carry the old state over unchanged. *)
+
+val no_repair : Labmod.t -> unit
+
+val ok_or_failed : string -> Request.result option -> Request.result

@@ -1,0 +1,27 @@
+(** Convenience installer: registers the stock LabMod implementations
+    against a set of storage backends, as the Runtime configuration
+    ("LabMod repos") would. *)
+
+open Lab_core
+
+type backend = {
+  blk : Lab_kernel.Blk.t;
+  device : Lab_device.Device.t;
+}
+
+val backend_of_device : Lab_sim.Machine.t -> Lab_device.Device.t -> backend
+(** Wraps a device with a pass-through block layer (Noop steering). *)
+
+val install :
+  Registry.t ->
+  machine:Lab_sim.Machine.t ->
+  backends:(string * backend) list ->
+  default_backend:string ->
+  nworkers:int ->
+  unit
+(** Registers: [labfs], [labkvs], [lru_cache], [permissions],
+    [compress], [noop_sched], [blkswitch_sched], [dummy], plus
+    per-backend drivers named [kernel_driver:<backend>],
+    [spdk:<backend>] (polling devices only) and [dax:<backend>]
+    (byte-addressable devices only). The unqualified [kernel_driver],
+    [spdk], and [dax] names bind to [default_backend]. *)

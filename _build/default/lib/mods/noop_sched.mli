@@ -1,0 +1,9 @@
+(** No-Op I/O scheduler LabMod: keys each request to the hardware queue
+    of the core it originated on, nothing more — the paper's baseline
+    scheduling policy. *)
+
+open Lab_core
+
+val name : string
+
+val factory : nqueues:int -> Registry.factory

@@ -1,0 +1,1 @@
+lib/runtime/client.ml: Costs Hashtbl Ipc_manager Lab_core Lab_ipc Lab_sim Labmod List Machine Module_manager Namespace Option Printf Qp Registry Request Result Runtime Stack Stack_spec

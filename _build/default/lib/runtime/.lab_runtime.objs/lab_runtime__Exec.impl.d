@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Engine Lab_core Lab_sim Labmod List Machine Printf Registry Request Stack

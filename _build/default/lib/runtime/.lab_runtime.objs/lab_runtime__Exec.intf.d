@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Lab_core Lab_sim

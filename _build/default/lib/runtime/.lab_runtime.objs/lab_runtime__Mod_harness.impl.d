@@ -1,0 +1,1 @@
+lib/runtime/mod_harness.ml: Engine Lab_core Lab_sim Labmod List Machine Request

@@ -1,0 +1,1 @@
+lib/runtime/mod_harness.mli: Lab_core Lab_sim

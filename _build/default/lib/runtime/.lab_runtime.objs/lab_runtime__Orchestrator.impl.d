@@ -1,0 +1,1 @@
+lib/runtime/orchestrator.ml: Array Float Hashtbl Lab_core Lab_ipc List Qp Stdlib Worker

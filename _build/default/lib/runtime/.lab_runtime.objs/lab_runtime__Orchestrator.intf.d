@@ -1,0 +1,1 @@
+lib/runtime/orchestrator.mli: Lab_core Lab_ipc Worker

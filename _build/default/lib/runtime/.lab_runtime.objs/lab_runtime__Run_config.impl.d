@@ -1,0 +1,1 @@
+lib/runtime/run_config.ml: Lab_core Option Orchestrator Printf Result Runtime Yamlite

@@ -1,0 +1,1 @@
+lib/runtime/run_config.mli: Lab_core Runtime

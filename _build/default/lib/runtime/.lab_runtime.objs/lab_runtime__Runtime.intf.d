@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Exec Lab_core Lab_ipc Lab_mods Lab_sim Orchestrator Worker

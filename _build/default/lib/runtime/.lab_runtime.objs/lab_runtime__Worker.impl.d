@@ -1,0 +1,1 @@
+lib/runtime/worker.ml: Costs Engine Lab_core Lab_ipc Lab_sim List Machine Qp Request Waitq

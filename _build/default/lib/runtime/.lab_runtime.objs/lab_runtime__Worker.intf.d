@@ -1,0 +1,1 @@
+lib/runtime/worker.mli: Lab_core Lab_ipc Lab_sim

@@ -1,0 +1,273 @@
+open Lab_sim
+open Lab_ipc
+open Lab_core
+
+exception Runtime_gone
+
+type t = {
+  runtime : Runtime.t;
+  mutable conn : Ipc_manager.connection;
+  c_pid : int;
+  uid : int;
+  c_thread : int;
+  qp_of_stack : (int, Request.t Qp.t) Hashtbl.t;
+  fd_table : (int, string * int) Hashtbl.t;  (* fd -> (path, stack id) *)
+  mutable next_fd : int;
+  mutable epoch : int;
+  recovery_timeout_ns : float;
+}
+
+let pid t = t.c_pid
+
+let thread t = t.c_thread
+
+let open_fd_count t = Hashtbl.length t.fd_table
+
+let machine t = Runtime.machine t.runtime
+
+let costs t = (machine t).Machine.costs
+
+let charge t ns = Machine.compute (machine t) ~thread:t.c_thread ns
+
+let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10) () =
+  let conn = Ipc_manager.connect (Runtime.ipc runtime) ~pid ~uid in
+  {
+    runtime;
+    conn;
+    c_pid = pid;
+    uid;
+    c_thread = thread;
+    qp_of_stack = Hashtbl.create 8;
+    fd_table = Hashtbl.create 64;
+    next_fd = 3;
+    epoch = Module_manager.epoch (Runtime.module_manager runtime);
+    recovery_timeout_ns;
+  }
+
+let disconnect t = Ipc_manager.disconnect (Runtime.ipc t.runtime) t.conn
+
+let qp_for_stack t (stack : Stack.t) =
+  match Hashtbl.find_opt t.qp_of_stack stack.Stack.id with
+  | Some qp -> qp
+  | None ->
+      let qp =
+        Ipc_manager.create_qp (Runtime.ipc t.runtime) t.conn ~role:Qp.Primary
+          ~ordering:Qp.Ordered ()
+      in
+      Hashtbl.replace t.qp_of_stack stack.Stack.id qp;
+      (* New primary queue: the Work Orchestrator runs a rebalance, as
+         it does whenever a new client connects. *)
+      Runtime.rebalance_now t.runtime;
+      qp
+
+(* Decentralized upgrades: applied at the next request boundary, paying
+   the code-load cost in this client. *)
+let apply_decentralized_upgrades t =
+  let mm = Runtime.module_manager t.runtime in
+  let current = Module_manager.epoch mm in
+  if current > t.epoch then begin
+    let pending = Module_manager.client_pending_upgrades mm ~since_epoch:t.epoch in
+    t.epoch <- current;
+    List.iter
+      (fun (u : Module_manager.upgrade) ->
+        List.iter
+          (fun (old_mod : Labmod.t) ->
+            let fresh =
+              Module_manager.apply_client_upgrade mm ~thread:t.c_thread
+                ~local:old_mod u
+            in
+            Registry.replace (Runtime.registry t.runtime) fresh)
+          (Registry.instances_of_name (Runtime.registry t.runtime) u.Module_manager.target))
+      pending
+  end
+
+let run_state_repair t =
+  List.iter
+    (fun stack ->
+      List.iter
+        (fun (m : Labmod.t) -> m.Labmod.ops.Labmod.state_repair m)
+        (Stack.mods stack (Runtime.registry t.runtime)))
+    (Namespace.stacks (Runtime.namespace t.runtime))
+
+let rec await_completion_or_crash t qp =
+  match Qp.try_completion qp with
+  | Some req -> Ok req
+  | None ->
+      if Ipc_manager.online (Runtime.ipc t.runtime) then begin
+        Qp.wait_completion_event qp;
+        await_completion_or_crash t qp
+      end
+      else Error `Crashed
+
+(* Request construction + LabStack/Module-Registry lookups the Runtime
+   would otherwise perform. *)
+let sync_dispatch_ns = 800.0
+
+let recover t =
+  if
+    not
+      (Ipc_manager.wait_online (Runtime.ipc t.runtime)
+         ~timeout_ns:t.recovery_timeout_ns)
+  then raise Runtime_gone;
+  run_state_repair t
+
+(* Submit a request to a stack and wait for its result, transparently
+   handling Runtime crashes (resubmitting after repair) and exec-mode
+   differences. *)
+let rec do_request t (stack : Stack.t) payload =
+  apply_decentralized_upgrades t;
+  let req =
+    Request.make
+      ~id:(Runtime.next_request_id t.runtime)
+      ~pid:t.c_pid ~uid:t.uid ~thread:t.c_thread ~stack_id:stack.Stack.id
+      ~now:(Machine.now (machine t))
+      payload
+  in
+  match stack.Stack.exec_mode with
+  | Stack_spec.Sync ->
+      (* The whole DAG runs in the client thread: no IPC, no central
+         authority — the Lab-D / fully-decentralized configuration. The
+         connector still builds the request and walks the namespace and
+         Module Registry itself. *)
+      charge t sync_dispatch_ns;
+      Runtime.exec_request t.runtime ~thread:t.c_thread req
+  | Stack_spec.Async ->
+      if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
+        recover t;
+        do_request t stack payload
+      end
+      else begin
+        let qp = qp_for_stack t stack in
+        charge t (costs t).Costs.shmem_enqueue_ns;
+        Qp.submit qp req;
+        match await_completion_or_crash t qp with
+        | Ok done_req ->
+            (* Pull the completion cache line back to our core. *)
+            charge t (costs t).Costs.shmem_cross_core_ns;
+            Option.value done_req.Request.result
+              ~default:(Request.Failed "no result recorded")
+        | Error `Crashed ->
+            recover t;
+            do_request t stack payload
+      end
+
+let resolve t target =
+  match Namespace.resolve (Runtime.namespace t.runtime) target with
+  | Some stack -> Ok stack
+  | None -> Error (Printf.sprintf "no LabStack mounted for %S" target)
+
+let lookup_fd t fd =
+  match Hashtbl.find_opt t.fd_table fd with
+  | Some entry -> Ok entry
+  | None -> Error (Printf.sprintf "bad file descriptor %d" fd)
+
+let stack_of_id t sid =
+  match Namespace.stack_by_id (Runtime.namespace t.runtime) sid with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "stack %d unmounted" sid)
+
+let ( let* ) r f = Result.bind r f
+
+let as_unit = function
+  | Request.Done | Request.Fd _ | Request.Size _ -> Ok ()
+  | Request.Denied m | Request.Failed m -> Error m
+
+let as_size = function
+  | Request.Size n -> Ok n
+  | Request.Done | Request.Fd _ -> Ok 0
+  | Request.Denied m | Request.Failed m -> Error m
+
+(* GenericFS keeps fd state common to all filesystem stacks. *)
+let open_file t ?(create = false) path =
+  charge t (costs t).Costs.hash_op_ns;
+  let* stack = resolve t path in
+  let* () = as_unit (do_request t stack (Request.Posix (Request.Open { path; create }))) in
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fd_table fd (path, stack.Stack.id);
+  Ok fd
+
+(* GenericFS owns file-descriptor state, so close is a client-local
+   table update — no Runtime round trip. *)
+let close t fd =
+  charge t (costs t).Costs.hash_op_ns;
+  let* _entry = lookup_fd t fd in
+  Hashtbl.remove t.fd_table fd;
+  Ok ()
+
+let pwrite t ~fd ~off ~bytes =
+  charge t (costs t).Costs.hash_op_ns;
+  let* path, sid = lookup_fd t fd in
+  let* stack = stack_of_id t sid in
+  as_size (do_request t stack (Request.Posix (Request.Pwrite { fd; path; off; bytes })))
+
+let pread t ~fd ~off ~bytes =
+  charge t (costs t).Costs.hash_op_ns;
+  let* path, sid = lookup_fd t fd in
+  let* stack = stack_of_id t sid in
+  as_size (do_request t stack (Request.Posix (Request.Pread { fd; path; off; bytes })))
+
+let fsync t ~fd =
+  charge t (costs t).Costs.hash_op_ns;
+  let* path, sid = lookup_fd t fd in
+  let* stack = stack_of_id t sid in
+  as_unit (do_request t stack (Request.Posix (Request.Fsync { fd; path })))
+
+let create t path =
+  let* stack = resolve t path in
+  as_unit (do_request t stack (Request.Posix (Request.Create { path })))
+
+let stat t path =
+  let* stack = resolve t path in
+  as_unit (do_request t stack (Request.Posix (Request.Open { path; create = false })))
+
+let unlink t path =
+  let* stack = resolve t path in
+  as_unit (do_request t stack (Request.Posix (Request.Unlink { path })))
+
+let rename t ~src ~dst =
+  let* stack = resolve t src in
+  as_unit (do_request t stack (Request.Posix (Request.Rename { src; dst })))
+
+let put t ~key ~bytes =
+  let* stack = resolve t key in
+  as_unit (do_request t stack (Request.Kv (Request.Put { key; bytes })))
+
+let get t ~key =
+  let* stack = resolve t key in
+  as_size (do_request t stack (Request.Kv (Request.Get { key })))
+
+let delete t ~key =
+  let* stack = resolve t key in
+  as_unit (do_request t stack (Request.Kv (Request.Delete { key })))
+
+let block_op t ~mount kind ~lba ~bytes =
+  match Namespace.lookup (Runtime.namespace t.runtime) mount with
+  | None -> Error (Printf.sprintf "nothing mounted at %S" mount)
+  | Some stack ->
+      as_size
+        (do_request t stack
+           (Request.Block { Request.b_kind = kind; b_lba = lba; b_bytes = bytes; b_sync = false }))
+
+let write_block t ~mount ~lba ~bytes = block_op t ~mount Request.Write ~lba ~bytes
+
+let read_block t ~mount ~lba ~bytes = block_op t ~mount Request.Read ~lba ~bytes
+
+let control t ~mount payload =
+  match Namespace.lookup (Runtime.namespace t.runtime) mount with
+  | None -> Error (Printf.sprintf "nothing mounted at %S" mount)
+  | Some stack -> as_unit (do_request t stack (Request.Control payload))
+
+(* clone/execve: the child re-connects (new shared-memory queue pairs)
+   and asks the Runtime to copy the parent's open fds across. *)
+let fork t ~new_pid ~new_thread =
+  let child =
+    connect t.runtime ~pid:new_pid ~uid:t.uid ~thread:new_thread
+      ~recovery_timeout_ns:t.recovery_timeout_ns ()
+  in
+  (* One IPC round trip per fd table copy. *)
+  charge t
+    ((costs t).Costs.shmem_enqueue_ns +. (costs t).Costs.shmem_cross_core_ns);
+  Hashtbl.iter (fun fd entry -> Hashtbl.replace child.fd_table fd entry) t.fd_table;
+  child.next_fd <- t.next_fd;
+  child

@@ -1,0 +1,81 @@
+(** LabStor client library.
+
+    Plays the role of the LD_PRELOADed Generic LabMods: GenericFS
+    (fd allocation + routing of POSIX calls to the right filesystem
+    stack) and GenericKVS (routing of put/get/delete). Paths and keys
+    are resolved against the LabStack Namespace by longest prefix.
+
+    For stacks mounted [async], requests travel through shared-memory
+    queue pairs to Runtime workers; for [sync] stacks the DAG executes
+    directly in the client thread. The library also implements crash
+    recovery (Wait detects an offline Runtime, waits for restart, runs
+    StateRepair, and retries) and applies decentralized live upgrades at
+    request boundaries. *)
+
+type t
+
+exception Runtime_gone
+(** Raised when the Runtime stayed offline past the recovery timeout. *)
+
+val connect :
+  Runtime.t -> pid:int -> uid:int -> thread:int -> ?recovery_timeout_ns:float -> unit -> t
+(** Models the UNIX-socket handshake and credential exchange. Must run
+    inside a simulated process. *)
+
+val disconnect : t -> unit
+
+val pid : t -> int
+
+val thread : t -> int
+
+(** {2 GenericFS: POSIX interface} *)
+
+val open_file : t -> ?create:bool -> string -> (int, string) result
+(** Resolves the path to a stack, forwards the open, allocates an fd. *)
+
+val close : t -> int -> (unit, string) result
+
+val pwrite : t -> fd:int -> off:int -> bytes:int -> (int, string) result
+
+val pread : t -> fd:int -> off:int -> bytes:int -> (int, string) result
+
+val fsync : t -> fd:int -> (unit, string) result
+
+val create : t -> string -> (unit, string) result
+
+val stat : t -> string -> (unit, string) result
+(** Existence/attribute lookup (an [open] without fd allocation). *)
+
+val unlink : t -> string -> (unit, string) result
+
+val rename : t -> src:string -> dst:string -> (unit, string) result
+
+(** {2 GenericKVS: key-value interface} *)
+
+val put : t -> key:string -> bytes:int -> (unit, string) result
+
+val get : t -> key:string -> (int, string) result
+
+val delete : t -> key:string -> (unit, string) result
+
+(** {2 Raw block access} *)
+
+val write_block : t -> mount:string -> lba:int -> bytes:int -> (int, string) result
+(** Submits a block write to the stack at [mount] (whose entry LabMod
+    must accept block requests, e.g. a scheduler or driver) — the
+    direct-to-device path of the scheduler experiments. *)
+
+val read_block : t -> mount:string -> lba:int -> bytes:int -> (int, string) result
+
+(** {2 Control} *)
+
+val control : t -> mount:string -> int -> (unit, string) result
+(** Sends a control message to the stack at [mount] (upgrade tests). *)
+
+(** {2 Process semantics} *)
+
+val fork : t -> new_pid:int -> new_thread:int -> t
+(** clone/execve support: the child reconnects and the parent's open
+    file descriptors are copied to it. *)
+
+val open_fd_count : t -> int

@@ -1,0 +1,42 @@
+open Lab_sim
+open Lab_core
+
+type probe = uuid:string -> exclusive_ns:float -> unit
+
+let run machine ~registry ~stack ~thread ?probe req =
+  let now () = Engine.now machine.Machine.engine in
+  let rec run_vertex uuid req =
+    match Registry.find registry uuid with
+    | None -> Request.Failed (Printf.sprintf "no LabMod instance %S" uuid)
+    | Some m ->
+        req.Request.hop <- uuid;
+        let child_time = ref 0.0 in
+        let ctx =
+          {
+            Labmod.machine;
+            thread;
+            forward =
+              (fun r ->
+                let t0 = now () in
+                let result = forward uuid r in
+                child_time := !child_time +. (now () -. t0);
+                result);
+            forward_async =
+              (fun r ->
+                Engine.spawn machine.Machine.engine (fun () ->
+                    ignore (forward uuid r)));
+          }
+        in
+        let t0 = now () in
+        let result = m.Labmod.ops.Labmod.operate m ctx req in
+        (match probe with
+        | Some p -> p ~uuid ~exclusive_ns:(now () -. t0 -. !child_time)
+        | None -> ());
+        result
+  and forward uuid r =
+    match Stack.next_uuids stack uuid with
+    | [] -> Request.Done
+    | nexts ->
+        List.fold_left (fun _ next -> run_vertex next r) Request.Done nexts
+  in
+  run_vertex (Stack.entry_uuid stack) req

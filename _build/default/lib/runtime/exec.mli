@@ -1,0 +1,19 @@
+(** LabStack executor: walks a request through a stack's DAG, timing
+    each LabMod's exclusive contribution (used by the I/O-anatomy
+    experiment and by the per-module performance counters workers
+    collect). *)
+
+type probe = uuid:string -> exclusive_ns:float -> unit
+
+val run :
+  Lab_sim.Machine.t ->
+  registry:Lab_core.Registry.t ->
+  stack:Lab_core.Stack.t ->
+  thread:int ->
+  ?probe:probe ->
+  Lab_core.Request.t ->
+  Lab_core.Request.result
+(** Executes the entry LabMod; each mod's [forward] continues to its
+    DAG successors (sequentially, last result wins). A vertex whose
+    instance is missing from the registry fails the request. Must run
+    inside a simulated process. *)

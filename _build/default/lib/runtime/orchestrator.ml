@@ -1,0 +1,182 @@
+open Lab_ipc
+
+type policy =
+  | Static of int
+  | Round_robin of int
+  | Dynamic of { max_workers : int; threshold : float; lq_cutoff_ns : float }
+
+type queue_load = {
+  qp : Lab_core.Request.t Qp.t;
+  est_service_ns : float;
+  expected_requests : float;
+}
+
+let load_of q =
+  (* Work expected next epoch: anticipated arrivals plus backlog. *)
+  q.est_service_ns
+  *. (q.expected_requests +. Stdlib.float_of_int (Qp.sq_depth q.qp))
+
+(* First-fit decreasing bin packing; bins are (load, queues) pairs. *)
+let pack ~capacity items =
+  let sorted =
+    List.sort (fun a b -> Float.compare (load_of b) (load_of a)) items
+  in
+  let bins : (float ref * queue_load list ref) list ref = ref [] in
+  List.iter
+    (fun q ->
+      let w = load_of q in
+      let rec place = function
+        | [] ->
+            bins := !bins @ [ (ref w, ref [ q ]) ]
+        | (total, queues) :: rest ->
+            if !total +. w <= capacity then begin
+              total := !total +. w;
+              queues := q :: !queues
+            end
+            else place rest
+      in
+      place !bins)
+    sorted;
+  List.map (fun (_, queues) -> !queues) !bins
+
+let partition_dynamic ~max_workers ~threshold ~lq_cutoff_ns ~epoch_ns ~queues =
+  let lqs, cqs =
+    List.partition (fun q -> q.est_service_ns <= lq_cutoff_ns) queues
+  in
+  (* Target utilization below 1: loads are measured under the *current*
+     assignment, so a saturated worker reports at most one epoch of
+     work per epoch. Packing against a sub-epoch capacity lets the pool
+     grow until the measured demand is actually met, while [threshold]
+     bounds the queueing-induced performance loss. *)
+  let capacity = epoch_ns *. (1.0 -. Float.min 0.9 threshold) in
+  let lq_bins = if lqs = [] then [] else pack ~capacity lqs in
+  let cq_bins = if cqs = [] then [] else pack ~capacity cqs in
+  let clamp limit bins =
+    if List.length bins <= limit || limit <= 0 then bins
+    else begin
+      let keep = limit - 1 in
+      let rec split i = function
+        | [] -> ([], [])
+        | x :: rest ->
+            if i < keep then
+              let kept, merged = split (i + 1) rest in
+              (x :: kept, merged)
+            else ([], [ List.concat (x :: rest) ])
+      in
+      let kept, merged = split 0 bins in
+      kept @ merged
+    end
+  in
+  (* LQ bins get budget first; CQs share the remainder (at least one
+     worker if they exist at all). *)
+  let lq_bins = clamp max_workers lq_bins in
+  let cq_budget = Stdlib.max (min 1 (List.length cq_bins)) (max_workers - List.length lq_bins) in
+  let cq_bins = clamp cq_budget cq_bins in
+  let bins = clamp max_workers (lq_bins @ cq_bins) in
+  bins
+
+(* Sticky placement: give each bin the worker already serving most of
+   its queues, so in-flight work stays where its core is and
+   latency-sensitive queues never inherit a core mid-computation. Fresh
+   LQ bins prefer low worker indices; fresh CQ bins high ones. *)
+let place_bins bins ~lq_count ~workers =
+  let n = Array.length workers in
+  let current = Array.map (fun w -> Worker.queues w) workers in
+  let free = Array.make n true in
+  let overlap bin w =
+    List.length
+      (List.filter
+         (fun q -> List.exists (fun q' -> Qp.id q' = Qp.id q.qp) current.(w))
+         bin)
+  in
+  List.mapi
+    (fun bin_idx bin ->
+      let is_lq = bin_idx < lq_count in
+      let best = ref (-1) and best_score = ref (-1) in
+      let consider w =
+        if free.(w) then begin
+          let score = overlap bin w in
+          if score > !best_score then begin
+            best := w;
+            best_score := score
+          end
+        end
+      in
+      if is_lq then
+        for w = 0 to n - 1 do
+          consider w
+        done
+      else
+        for w = n - 1 downto 0 do
+          consider w
+        done;
+      let w = if !best >= 0 then !best else bin_idx mod n in
+      free.(w) <- false;
+      (w, bin))
+    bins
+
+(* Unordered queues may be drained by any worker serving their class:
+   replicate them across every worker that already holds work of the
+   same class (ordered queues stay 1:1, preserving their in-order
+   guarantee). *)
+let share_unordered ~lq_cutoff_ns ~queues assignments =
+  let unordered =
+    List.filter (fun q -> Qp.ordering q.qp = Qp.Unordered) queues
+  in
+  if unordered = [] then assignments
+  else
+    List.map
+      (fun (w, qs) ->
+        if qs = [] then (w, qs)
+        else begin
+          let class_of q = q.est_service_ns <= lq_cutoff_ns in
+          let classes = List.map class_of qs in
+          let extra =
+            List.filter
+              (fun q ->
+                List.mem (class_of q) classes
+                && not (List.exists (fun q' -> Qp.id q'.qp = Qp.id q.qp) qs))
+              unordered
+          in
+          (w, qs @ extra)
+        end)
+      assignments
+
+let rebalance policy ~epoch_ns ~queues ~workers =
+  let assignments =
+    match policy with
+    | Static n | Round_robin n ->
+        let n = Stdlib.max 1 (Stdlib.min n (Array.length workers)) in
+        let buckets = Array.make n [] in
+        List.iteri
+          (fun i q -> buckets.(i mod n) <- q :: buckets.(i mod n))
+          queues;
+        Array.to_list (Array.mapi (fun i qs -> (i, qs)) buckets)
+    | Dynamic { max_workers; threshold; lq_cutoff_ns } ->
+        let max_workers = Stdlib.min max_workers (Array.length workers) in
+        let bins =
+          partition_dynamic ~max_workers ~threshold ~lq_cutoff_ns ~epoch_ns
+            ~queues
+        in
+        let lq_count =
+          List.length
+            (List.filter
+               (fun bin ->
+                 List.for_all (fun q -> q.est_service_ns <= lq_cutoff_ns) bin)
+               bins)
+        in
+        share_unordered ~lq_cutoff_ns ~queues
+          (place_bins bins ~lq_count ~workers)
+  in
+  (* Apply: named workers get their queues; the rest are drained. *)
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun (w, qs) ->
+      if w < Array.length workers then begin
+        Hashtbl.replace used w ();
+        Worker.assign workers.(w) (List.map (fun q -> q.qp) qs)
+      end)
+    assignments;
+  Array.iteri
+    (fun i w -> if not (Hashtbl.mem used i) then Worker.assign w [])
+    workers

@@ -1,0 +1,45 @@
+(** Work Orchestrator: assigns request queues to workers and workers to
+    cores (§III-C4).
+
+    Policies:
+    - [Static n] / [Round_robin n]: queues dealt round-robin over the
+      first [n] workers.
+    - [Dynamic]: queues are classified by their expected processing time
+      into latency-sensitive queues (LQs) and computational queues
+      (CQs); each class is bin-packed (first-fit decreasing, a greedy
+      take on the paper's equal-weight knapsack) onto the fewest workers
+      whose expected epoch load stays under capacity × (1 + threshold).
+      LQ workers are disjoint from CQ workers, so short requests never
+      sit behind long computations; unused workers are decommissioned. *)
+
+type policy =
+  | Static of int
+  | Round_robin of int
+  | Dynamic of { max_workers : int; threshold : float; lq_cutoff_ns : float }
+
+type queue_load = {
+  qp : Lab_core.Request.t Lab_ipc.Qp.t;
+  est_service_ns : float;  (** EWMA of observed per-request service time *)
+  expected_requests : float;  (** arrivals anticipated next epoch *)
+}
+
+val rebalance :
+  policy ->
+  epoch_ns:float ->
+  queues:queue_load list ->
+  workers:Worker.t array ->
+  unit
+(** Computes the new assignment and applies it via {!Worker.assign}. *)
+
+val partition_dynamic :
+  max_workers:int ->
+  threshold:float ->
+  lq_cutoff_ns:float ->
+  epoch_ns:float ->
+  queues:queue_load list ->
+  queue_load list list
+(** Pure core of the dynamic policy, exposed for testing: the bins, LQ
+    bins first, at most [max_workers] of them. Worker placement is done
+    by {!rebalance}, which keeps bins sticky to the workers that already
+    serve their queues (so long-running computations are not stranded on
+    cores that latency queues then land on). *)

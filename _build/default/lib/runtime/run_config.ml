@@ -1,0 +1,61 @@
+open Lab_core
+
+let ( let* ) r f = Result.bind r f
+
+let policy_of_yaml ~nworkers node =
+  match node with
+  | None -> Ok (Orchestrator.Round_robin nworkers)
+  | Some node -> (
+      let geti key default =
+        Option.value ~default (Option.bind (Yamlite.find node key) Yamlite.get_int)
+      in
+      let getf key default =
+        Option.value ~default
+          (Option.bind (Yamlite.find node key) Yamlite.get_float)
+      in
+      match Option.bind (Yamlite.find node "kind") Yamlite.get_string with
+      | Some "static" -> Ok (Orchestrator.Static (geti "workers" nworkers))
+      | Some "round_robin" | None ->
+          Ok (Orchestrator.Round_robin (geti "workers" nworkers))
+      | Some "dynamic" ->
+          Ok
+            (Orchestrator.Dynamic
+               {
+                 max_workers = geti "max_workers" nworkers;
+                 threshold = getf "threshold" 0.2;
+                 lq_cutoff_ns = getf "lq_cutoff_us" 1000.0 *. 1000.0;
+               })
+      | Some other -> Error (Printf.sprintf "unknown policy kind %S" other))
+
+let of_yaml node =
+  let d = Runtime.default_config in
+  let geti key default =
+    Option.value ~default (Option.bind (Yamlite.find node key) Yamlite.get_int)
+  in
+  let getf key default =
+    Option.value ~default (Option.bind (Yamlite.find node key) Yamlite.get_float)
+  in
+  let getb key default =
+    Option.value ~default (Option.bind (Yamlite.find node key) Yamlite.get_bool)
+  in
+  let nworkers = geti "workers" d.Runtime.nworkers in
+  if nworkers <= 0 then Error "workers must be positive"
+  else
+    let* policy = policy_of_yaml ~nworkers (Yamlite.find node "policy") in
+    Ok
+      {
+        Runtime.nworkers;
+        policy;
+        admin_period_ns =
+          getf "admin_period_us" (d.Runtime.admin_period_ns /. 1000.0) *. 1000.0;
+        worker_spin_ns =
+          getf "worker_spin_us" (d.Runtime.worker_spin_ns /. 1000.0) *. 1000.0;
+        worker_core_base = geti "worker_core_base" d.Runtime.worker_core_base;
+        workers_busy_poll = getb "busy_poll" d.Runtime.workers_busy_poll;
+      }
+
+let parse text =
+  match Yamlite.parse text with
+  | exception Yamlite.Parse_error { line; message } ->
+      Error (Printf.sprintf "line %d: %s" line message)
+  | node -> of_yaml node

@@ -1,0 +1,23 @@
+(** Runtime configuration files.
+
+    Trusted users configure the Runtime through a YAML document (the
+    paper's deployment model): worker-pool size, work-orchestration
+    policy and its parameters, the admin period, and worker polling
+    behaviour. Example:
+
+    {v
+    workers: 8
+    busy_poll: false
+    admin_period_us: 1000
+    worker_spin_us: 5
+    policy:
+      kind: dynamic        # static | round_robin | dynamic
+      max_workers: 8
+      threshold: 0.2
+      lq_cutoff_us: 1000
+    v} *)
+
+val of_yaml : Lab_core.Yamlite.t -> (Runtime.config, string) result
+
+val parse : string -> (Runtime.config, string) result
+(** Missing keys fall back to {!Runtime.default_config}. *)

@@ -1,0 +1,295 @@
+open Lab_sim
+open Lab_ipc
+open Lab_core
+open Lab_device
+
+type config = {
+  nworkers : int;
+  policy : Orchestrator.policy;
+  admin_period_ns : float;
+  worker_spin_ns : float;
+  worker_core_base : int;
+  workers_busy_poll : bool;
+}
+
+let default_config =
+  {
+    nworkers = 4;
+    policy = Orchestrator.Round_robin 4;
+    admin_period_ns = 1e6;
+    worker_spin_ns = 5000.0;
+    worker_core_base = 0;
+    workers_busy_poll = false;
+  }
+
+type qstat = {
+  mutable ewma : float;
+  mutable last_total : int;
+  mutable arrivals_ewma : float;  (* smoothed submissions per epoch *)
+}
+
+type t = {
+  machine : Machine.t;
+  reg : Registry.t;
+  ns : Namespace.t;
+  ipc_mgr : Request.t Ipc_manager.t;
+  mm : Module_manager.t;
+  pool : Worker.t array;
+  cfg : config;
+  qstats : (int, qstat) Hashtbl.t;
+  mutable req_counter : int;
+  admin_thread : int;
+  mutable live : bool;
+  mutable probe : Exec.probe option;
+  repo_mgr : Repo.t;
+}
+
+let machine t = t.machine
+
+let registry t = t.reg
+
+let namespace t = t.ns
+
+let ipc t = t.ipc_mgr
+
+let module_manager t = t.mm
+
+let workers t = t.pool
+
+let config t = t.cfg
+
+let next_request_id t =
+  t.req_counter <- t.req_counter + 1;
+  t.req_counter
+
+(* Worker threads get ids far above client thread ids so CPU affinity
+   never collides by accident. *)
+let worker_thread_base = 10_000
+
+let admin_thread_id = 9_999
+
+(* Loading new LabMod code: the binary is page-faulted in from the
+   default backend (4 KiB reads — the dominant cost Table I observes),
+   then linked. *)
+let make_load_code machine (backend : Lab_mods.Mods_env.backend) =
+  let link_cpu_ns = 2.5e6 in
+  fun ~thread ~bytes ->
+    let pages = Stdlib.max 1 (bytes / 4096) in
+    let dev = backend.Lab_mods.Mods_env.device in
+    let nq = Device.n_hw_queues dev in
+    for page = 0 to pages - 1 do
+      ignore
+        (Device.submit_wait dev ~hctx:(thread mod nq) ~kind:Device.Read
+           ~lba:(1_000_000 + (page * 8)) ~bytes:4096)
+    done;
+    Machine.compute machine ~thread link_cpu_ns
+
+let exec_request t ~thread ?probe req =
+  let probe = match probe with Some _ -> probe | None -> t.probe in
+  match Namespace.stack_by_id t.ns req.Request.stack_id with
+  | None ->
+      Request.Failed (Printf.sprintf "unknown stack id %d" req.Request.stack_id)
+  | Some stack -> Exec.run t.machine ~registry:t.reg ~stack ~thread ?probe req
+
+let set_probe t probe = t.probe <- probe
+
+let qstat_of t qp_id =
+  match Hashtbl.find_opt t.qstats qp_id with
+  | Some s -> s
+  | None ->
+      let s = { ewma = 2000.0; last_total = 0; arrivals_ewma = 0.0 } in
+      Hashtbl.replace t.qstats qp_id s;
+      s
+
+let note_service t ~qp_id ~service_ns =
+  let s = qstat_of t qp_id in
+  s.ewma <- (0.8 *. s.ewma) +. (0.2 *. service_ns)
+
+(* Dispatch-time estimate (EstProcessingTime over the request's stack):
+   raises the queue's expected service time immediately; later
+   completions pull it back if the estimate was pessimistic. *)
+let estimate_request t req =
+  match Namespace.stack_by_id t.ns req.Request.stack_id with
+  | None -> 0.0
+  | Some stack ->
+      List.fold_left
+        (fun acc (m : Labmod.t) ->
+          acc +. m.Labmod.ops.Labmod.est_processing_time m req)
+        0.0
+        (Stack.mods stack t.reg)
+
+let prime_estimate t ~qp_id req =
+  let s = qstat_of t qp_id in
+  s.ewma <- Float.max s.ewma (estimate_request t req)
+
+let create machine ?(config = default_config) ~backends ~default_backend () =
+  let reg = Registry.create () in
+  Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
+    ~nworkers:config.nworkers;
+  let default =
+    match List.assoc_opt default_backend backends with
+    | Some b -> b
+    | None -> invalid_arg "Runtime.create: unknown default backend"
+  in
+  let rec t =
+    lazy
+      (let exec ~thread req = exec_request (Lazy.force t) ~thread req in
+       let qstat ~qp_id ~service_ns =
+         note_service (Lazy.force t) ~qp_id ~service_ns
+       in
+       let qprime ~qp_id req = prime_estimate (Lazy.force t) ~qp_id req in
+       let pool =
+         Array.init config.nworkers (fun i ->
+             let thread = worker_thread_base + i in
+             let core =
+               (config.worker_core_base + i) mod Cpu.ncores machine.Machine.cpu
+             in
+             Cpu.pin machine.Machine.cpu ~thread ~core;
+             Worker.create machine ~id:i ~thread ~exec ~qstat ~qprime
+               ~spin_ns:config.worker_spin_ns ~busy_poll:config.workers_busy_poll ())
+       in
+       {
+         machine;
+         reg;
+         ns = Namespace.create ();
+         ipc_mgr = Ipc_manager.create machine.Machine.engine;
+         mm =
+           Module_manager.create machine reg
+             ~load_code:(make_load_code machine default);
+         pool;
+         cfg = config;
+         qstats = Hashtbl.create 64;
+         req_counter = 0;
+         admin_thread = admin_thread_id;
+         live = true;
+         probe = None;
+         repo_mgr = Repo.create ~runtime_uid:0 ();
+       })
+  in
+  Lazy.force t
+
+(* The paper's EstProcessingTime path: ask every LabMod on the queued
+   request's stack for its expected processing time, so a queue turns
+   computational the moment a heavy request is waiting — before any
+   service-time history exists. *)
+let estimate_queued t qp =
+  match Qp.peek_sq qp with
+  | None -> 0.0
+  | Some req -> (
+      match Namespace.stack_by_id t.ns req.Request.stack_id with
+      | None -> 0.0
+      | Some stack ->
+          List.fold_left
+            (fun acc (m : Labmod.t) ->
+              acc +. m.Labmod.ops.Labmod.est_processing_time m req)
+            0.0
+            (Stack.mods stack t.reg))
+
+let queue_loads t =
+  List.map
+    (fun qp ->
+      let s = qstat_of t (Qp.id qp) in
+      let total = Qp.total_submitted qp in
+      let fresh = Stdlib.float_of_int (total - s.last_total) in
+      s.last_total <- total;
+      (* Smooth the arrival rate: long-running requests submit less than
+         once per epoch, and a zero sample must not erase their load. *)
+      s.arrivals_ewma <- (0.7 *. s.arrivals_ewma) +. (0.3 *. fresh);
+      {
+        Orchestrator.qp;
+        est_service_ns = Float.max s.ewma (estimate_queued t qp);
+        expected_requests = Float.max s.arrivals_ewma 1.0;
+      })
+    (Ipc_manager.primary_qps t.ipc_mgr)
+
+let rebalance_now t =
+  Orchestrator.rebalance t.cfg.policy ~epoch_ns:t.cfg.admin_period_ns
+    ~queues:(queue_loads t) ~workers:t.pool
+
+let all_primary_acked t =
+  (* Nudge parked workers so they observe the marks. *)
+  Array.iter Worker.wake t.pool;
+  List.for_all
+    (fun qp -> Qp.mark qp <> Qp.Update_pending)
+    (Ipc_manager.primary_qps t.ipc_mgr)
+
+let process_upgrades t =
+  Module_manager.process_centralized t.mm ~thread:t.admin_thread
+    ~primary_qps:(Ipc_manager.primary_qps t.ipc_mgr)
+    ~all_acked:(fun () -> all_primary_acked t)
+    ~intermediate_idle:(fun () -> true)
+(* Intermediate traffic is synchronous within a worker's request, so a
+   worker that acknowledged a mark has no intermediate work in flight. *)
+
+let start t =
+  Array.iter Worker.start t.pool;
+  Engine.spawn t.machine.Machine.engine (fun () ->
+      let rec admin () =
+        Engine.wait t.cfg.admin_period_ns;
+        if t.live then begin
+          process_upgrades t;
+          rebalance_now t
+        end;
+        admin ()
+      in
+      admin ())
+
+let repo_manager t = t.repo_mgr
+
+let mount_repo t ~name ~owner_uid ~mods =
+  Repo.mount_repo t.repo_mgr t.reg ~name ~owner_uid ~mods
+
+let unmount_repo t ~name = Repo.unmount_repo t.repo_mgr t.reg ~name
+
+let mount t spec =
+  match Repo.validate_stack_trust t.repo_mgr spec with
+  | Error _ as e -> e
+  | Ok () ->
+      let r = Namespace.mount t.ns t.reg spec in
+      rebalance_now t;
+      r
+
+let mount_text t text =
+  match Stack_spec.parse text with Error _ as e -> e | Ok spec -> mount t spec
+
+let modify_stack_text t text =
+  match Stack_spec.parse text with
+  | Error _ as e -> e
+  | Ok spec -> Namespace.modify_stack t.ns t.reg spec
+
+let modify_mods t upgrade = Module_manager.submit_upgrade t.mm upgrade
+
+let utilization t ~elapsed_ns =
+  if elapsed_ns <= 0.0 then 0.0
+  else
+    Array.fold_left (fun acc w -> acc +. Worker.active_ns w) 0.0 t.pool
+    /. (elapsed_ns *. Stdlib.float_of_int (Array.length t.pool))
+
+let reset_worker_stats t = Array.iter Worker.reset_stats t.pool
+
+let requests_processed t =
+  Array.fold_left (fun acc w -> acc + Worker.processed w) 0 t.pool
+
+let crash t =
+  t.live <- false;
+  Array.iter Worker.stop t.pool;
+  Ipc_manager.set_online t.ipc_mgr false;
+  (* In-flight requests in the Runtime's address space are lost. *)
+  List.iter
+    (fun qp ->
+      let rec drain_sq () =
+        match Qp.poll_sq qp with Some _ -> drain_sq () | None -> ()
+      in
+      let rec drain_cq () =
+        match Qp.try_completion qp with Some _ -> drain_cq () | None -> ()
+      in
+      drain_sq ();
+      drain_cq ();
+      Qp.wake_all_waiters qp)
+    (Ipc_manager.qps t.ipc_mgr)
+
+let restart t =
+  t.live <- true;
+  Array.iter Worker.resume t.pool;
+  Ipc_manager.set_online t.ipc_mgr true;
+  rebalance_now t

@@ -1,0 +1,100 @@
+(** The LabStor Runtime: warehouse and execution engine of LabStacks.
+
+    Owns the Module Registry, the LabStack Namespace, the IPC Manager,
+    the Module Manager, the worker pool, and the admin process that
+    periodically processes upgrades and rebalances queues. *)
+
+type config = {
+  nworkers : int;  (** worker pool size (upper bound for dynamic policy) *)
+  policy : Orchestrator.policy;
+  admin_period_ns : float;  (** upgrade poll / rebalance epoch, default 1 ms *)
+  worker_spin_ns : float;  (** idle polling budget before a worker sleeps *)
+  worker_core_base : int;  (** workers are pinned to cores starting here *)
+  workers_busy_poll : bool;
+      (** statically-provisioned workers that poll instead of sleeping *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  Lab_sim.Machine.t ->
+  ?config:config ->
+  backends:(string * Lab_mods.Mods_env.backend) list ->
+  default_backend:string ->
+  unit ->
+  t
+(** Installs the stock LabMods against [backends] and builds the worker
+    pool. Call {!start} to spawn workers and the admin process. *)
+
+val machine : t -> Lab_sim.Machine.t
+
+val registry : t -> Lab_core.Registry.t
+
+val namespace : t -> Lab_core.Namespace.t
+
+val ipc : t -> Lab_core.Request.t Lab_ipc.Ipc_manager.t
+
+val module_manager : t -> Lab_core.Module_manager.t
+
+val workers : t -> Worker.t array
+
+val config : t -> config
+
+val start : t -> unit
+
+val mount_text : t -> string -> (Lab_core.Stack.t, string) result
+(** mount.stack: parse a YAML spec and mount it. *)
+
+val mount : t -> Lab_core.Stack_spec.t -> (Lab_core.Stack.t, string) result
+(** Validates trust (untrusted LabMods may not run inside the Runtime)
+    before inducting the stack into the Namespace. *)
+
+val repo_manager : t -> Lab_core.Repo.t
+
+val mount_repo :
+  t ->
+  name:string ->
+  owner_uid:int ->
+  mods:(string * Lab_core.Registry.factory) list ->
+  (Lab_core.Repo.trust, string) result
+(** mount.repo: installs a LabMod repo (unprivileged; quota applies).
+    Repos owned by the Runtime's uid are trusted. *)
+
+val unmount_repo : t -> name:string -> (unit, string) result
+
+val modify_stack_text : t -> string -> (Lab_core.Stack.t, string) result
+
+val modify_mods : t -> Lab_core.Module_manager.upgrade -> unit
+(** Submit a live upgrade (processed by the admin within one period). *)
+
+val next_request_id : t -> int
+
+val exec_request :
+  t -> thread:int -> ?probe:Exec.probe -> Lab_core.Request.t -> Lab_core.Request.result
+(** Executes a request through the stack named by its [stack_id] —
+    used by workers (async stacks) and directly by clients of
+    synchronous stacks. *)
+
+val set_probe : t -> Exec.probe option -> unit
+(** Attaches a per-LabMod timing probe to every request the workers
+    execute (the I/O-anatomy instrumentation). *)
+
+val rebalance_now : t -> unit
+(** Forced orchestration epoch (also triggered when clients connect). *)
+
+val utilization : t -> elapsed_ns:float -> float
+(** Awake-time fraction of the worker pool over the last [elapsed_ns]. *)
+
+val reset_worker_stats : t -> unit
+
+val requests_processed : t -> int
+
+val crash : t -> unit
+(** Simulates a Runtime crash: workers stop, the IPC manager goes
+    offline; in-flight state in the Runtime's address space is lost. *)
+
+val restart : t -> unit
+(** Administrator restart: workers resume, clients blocked in Wait are
+    released (they then run StateRepair). *)

@@ -1,0 +1,180 @@
+open Lab_sim
+open Lab_ipc
+open Lab_core
+
+type t = {
+  w_id : int;
+  w_thread : int;
+  machine : Machine.t;
+  bell : unit Waitq.t;
+  mutable assigned : Request.t Qp.t list;
+  mutable running : bool;
+  mutable is_parked : bool;
+  mutable awake_since : float;
+  mutable active : float;
+  mutable done_count : int;
+  exec : thread:int -> Request.t -> Request.result;
+  qstat : qp_id:int -> service_ns:float -> unit;
+  qprime : qp_id:int -> Request.t -> unit;
+  spin_ns : float;
+  busy_poll : bool;
+  mutable inflight : int;
+  max_inflight : int;
+}
+
+let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
+    ?(qprime = fun ~qp_id:_ _ -> ()) ?(spin_ns = 5000.0) ?(busy_poll = false) () =
+  {
+    w_id = id;
+    w_thread = thread;
+    machine;
+    bell = Waitq.create ();
+    assigned = [];
+    running = true;
+    is_parked = false;
+    awake_since = 0.0;
+    active = 0.0;
+    done_count = 0;
+    exec;
+    qstat;
+    qprime;
+    spin_ns;
+    busy_poll;
+    inflight = 0;
+    max_inflight = 16;
+  }
+
+let id t = t.w_id
+
+let thread t = t.w_thread
+
+let queues t = t.assigned
+
+let doorbell t = t.bell
+
+let wake t = ignore (Waitq.wake_all t.bell ())
+
+let assign t qps =
+  (* Detach our doorbell from queues we lose; attach to those we gain.
+     Unordered queues can be shared by several workers, so only our own
+     bell is touched. *)
+  List.iter (fun qp -> Qp.remove_doorbell qp t.bell) t.assigned;
+  t.assigned <- qps;
+  List.iter (fun qp -> Qp.add_doorbell qp t.bell) qps;
+  wake t
+
+let stop t =
+  t.running <- false;
+  wake t
+
+let resume t =
+  t.running <- true;
+  wake t
+
+let parked t = t.is_parked
+
+let processed t = t.done_count
+
+let active_ns t =
+  if t.is_parked then t.active
+  else t.active +. (Engine.now t.machine.Machine.engine -. t.awake_since)
+
+let reset_stats t =
+  t.active <- 0.0;
+  t.done_count <- 0;
+  if not t.is_parked then t.awake_since <- Engine.now t.machine.Machine.engine
+
+let costs t = t.machine.Machine.costs
+
+(* Each request runs in its own coroutine on the worker's thread: CPU
+   bursts serialize on the worker's core, but waits (device I/O,
+   downstream LabMods) overlap across requests — the paper's
+   asynchronous message passing, which is what lets one worker drive a
+   device well beyond 1/latency. [max_inflight] bounds the window. *)
+let process t qp req =
+  t.inflight <- t.inflight + 1;
+  (* Tell the orchestrator what this request is expected to cost before
+     we start on it (the EstProcessingTime API): a queue turns
+     computational at dispatch, not at first completion. *)
+  t.qprime ~qp_id:(Qp.id qp) req;
+  (* Pull the request's cache lines over from the submitting core: paid
+     serially in the polling loop — the worker cannot dequeue the next
+     request meanwhile, which is what lets a second worker pick it up
+     from a shared (unordered) queue. *)
+  Machine.compute t.machine ~thread:t.w_thread (costs t).Costs.shmem_cross_core_ns;
+  Engine.spawn t.machine.Machine.engine (fun () ->
+      let t0 = Engine.now t.machine.Machine.engine in
+      let result = t.exec ~thread:t.w_thread req in
+      req.Request.result <- Some result;
+      t.qstat ~qp_id:(Qp.id qp)
+        ~service_ns:(Engine.now t.machine.Machine.engine -. t0);
+      Machine.compute t.machine ~thread:t.w_thread (costs t).Costs.shmem_enqueue_ns;
+      Qp.complete qp req;
+      t.done_count <- t.done_count + 1;
+      t.inflight <- t.inflight - 1;
+      (* The worker may have parked on a full window; nudge it. *)
+      wake t)
+
+(* One pass over the assigned queues. Returns whether any request was
+   dispatched. Upgrade marks are acknowledged here (marked queues are
+   not drained until the Module Manager unmarks them). *)
+let sweep t =
+  let progress = ref false in
+  List.iter
+    (fun qp ->
+      match Qp.mark qp with
+      | Qp.Update_pending ->
+          (* Only acknowledge once our in-flight requests retire. *)
+          if t.inflight = 0 then Qp.set_mark qp Qp.Update_acked
+      | Qp.Update_acked -> ()
+      | Qp.Normal ->
+          if t.inflight < t.max_inflight then begin
+            match Qp.poll_sq qp with
+            | Some req ->
+                process t qp req;
+                progress := true
+            | None -> ()
+          end)
+    t.assigned;
+  !progress
+
+let park t =
+  t.active <- t.active +. (Engine.now t.machine.Machine.engine -. t.awake_since);
+  t.is_parked <- true;
+  let slot = ref None in
+  Waitq.park t.bell slot;
+  t.is_parked <- false;
+  t.awake_since <- Engine.now t.machine.Machine.engine
+
+let start t =
+  Engine.spawn t.machine.Machine.engine (fun () ->
+      t.awake_since <- Engine.now t.machine.Machine.engine;
+      let rec loop () =
+        if not t.running then begin
+          park t;
+          loop ()
+        end
+        else if sweep t then loop ()
+        else if t.busy_poll && t.assigned <> [] then begin
+          (* Statically-configured workers never sleep: poll the queue
+             set at a coarse interval (the sweep itself costs time). *)
+          Engine.wait 2000.0;
+          loop ()
+        end
+        else begin
+          (* Idle: spin-poll for a bounded budget, then park. *)
+          let deadline =
+            Engine.now t.machine.Machine.engine +. t.spin_ns
+          in
+          let rec spin () =
+            if Engine.now t.machine.Machine.engine >= deadline then false
+            else begin
+              Engine.wait (costs t).Costs.poll_spin_ns;
+              if sweep t then true else spin ()
+            end
+          in
+          if not (spin ()) then park t;
+          loop ()
+        end
+      in
+      loop ())

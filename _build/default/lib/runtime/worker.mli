@@ -1,0 +1,60 @@
+(** Runtime workers: processes that drain request queues, execute
+    LabStacks, and post completions.
+
+    A worker sweeps its assigned queue pairs; on an empty sweep it spins
+    briefly (polling), then parks on its doorbell until a submission
+    rings it — modelling the paper's workers that stop busy-waiting
+    after an idle period. Awake wall-time is accounted as CPU
+    utilization. Workers participate in the centralized upgrade
+    protocol by acknowledging queue marks. *)
+
+type t
+
+val create :
+  Lab_sim.Machine.t ->
+  id:int ->
+  thread:int ->
+  exec:(thread:int -> Lab_core.Request.t -> Lab_core.Request.result) ->
+  ?qstat:(qp_id:int -> service_ns:float -> unit) ->
+  ?qprime:(qp_id:int -> Lab_core.Request.t -> unit) ->
+  ?spin_ns:float ->
+  ?busy_poll:bool ->
+  unit ->
+  t
+(** [exec] runs a request through its stack. [qstat] reports observed
+    per-queue service times to the orchestrator. [spin_ns] is the idle
+    polling budget before parking (default 5000). With [busy_poll] the
+    worker never parks while it has assigned queues — it burns its core
+    polling, like a statically-configured worker pool; utilization then
+    reflects wall time. *)
+
+val id : t -> int
+
+val thread : t -> int
+
+val start : t -> unit
+(** Spawns the worker process. *)
+
+val assign : t -> Lab_core.Request.t Lab_ipc.Qp.t list -> unit
+(** Replaces the worker's queue list (orchestrator rebalance) and wakes
+    it. An empty list effectively decommissions the worker. *)
+
+val queues : t -> Lab_core.Request.t Lab_ipc.Qp.t list
+
+val doorbell : t -> unit Lab_sim.Waitq.t
+
+val wake : t -> unit
+
+val stop : t -> unit
+(** The worker parks permanently at its next sweep (crash simulation). *)
+
+val resume : t -> unit
+
+val parked : t -> bool
+
+val processed : t -> int
+
+val active_ns : t -> float
+(** Total awake time (processing + polling), the utilization measure. *)
+
+val reset_stats : t -> unit

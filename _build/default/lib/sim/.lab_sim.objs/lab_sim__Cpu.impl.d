@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Array Costs Engine Float Hashtbl Semaphore Stdlib

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Costs Cpu Engine Rng

@@ -1,0 +1,65 @@
+type thread_id = int
+
+type core = {
+  lock : Semaphore.t;
+  mutable last_thread : thread_id option;
+  mutable busy : float;
+  mutable switches : int;
+}
+
+type t = { costs : Costs.t; cores : core array; affinity : (thread_id, int) Hashtbl.t }
+
+let create ?(costs = Costs.default) ~ncores () =
+  if ncores <= 0 then invalid_arg "Cpu.create: ncores must be positive";
+  let make_core _ =
+    { lock = Semaphore.create 1; last_thread = None; busy = 0.0; switches = 0 }
+  in
+  { costs; cores = Array.init ncores make_core; affinity = Hashtbl.create 64 }
+
+let ncores t = Array.length t.cores
+
+let pin t ~thread ~core =
+  if core < 0 || core >= Array.length t.cores then invalid_arg "Cpu.pin: bad core";
+  Hashtbl.replace t.affinity thread core
+
+let core_of t thread =
+  match Hashtbl.find_opt t.affinity thread with
+  | Some c -> c
+  | None -> thread mod Array.length t.cores
+
+let compute t ~thread ?core ns =
+  let ns = if ns < 0.0 then 0.0 else ns in
+  let idx = match core with Some c -> c | None -> core_of t thread in
+  let c = t.cores.(idx) in
+  Semaphore.acquire c.lock;
+  let switch =
+    match c.last_thread with
+    | Some prev when prev = thread -> 0.0
+    | Some _ ->
+        c.switches <- c.switches + 1;
+        t.costs.ctx_switch_ns
+    | None -> 0.0
+  in
+  c.last_thread <- Some thread;
+  let total = ns +. switch in
+  c.busy <- c.busy +. total;
+  Engine.wait total;
+  Semaphore.release c.lock
+
+let context_switches t =
+  Array.fold_left (fun acc c -> acc + c.switches) 0 t.cores
+
+let busy_ns t = Array.fold_left (fun acc c -> acc +. c.busy) 0.0 t.cores
+
+let busy_ns_of_core t i = t.cores.(i).busy
+
+let utilization t ~elapsed =
+  if elapsed <= 0.0 then 0.0
+  else Float.min 1.0 (busy_ns t /. (elapsed *. Stdlib.float_of_int (Array.length t.cores)))
+
+let reset_stats t =
+  Array.iter
+    (fun c ->
+      c.busy <- 0.0;
+      c.switches <- 0)
+    t.cores

@@ -1,0 +1,39 @@
+(** CPU core model.
+
+    A machine is a set of cores. A simulated thread occupies a core only
+    for the duration of each compute burst; the core is a FIFO resource.
+    When a core switches between distinct threads a context-switch cost
+    is charged and counted — so a thread with a dedicated core never
+    pays switches, which is the mechanism behind several LabStor
+    results. *)
+
+type t
+
+type thread_id = int
+
+val create : ?costs:Costs.t -> ncores:int -> unit -> t
+
+val ncores : t -> int
+
+val compute : t -> thread:thread_id -> ?core:int -> float -> unit
+(** [compute t ~thread ns] occupies a core for [ns] (plus a context
+    switch if the core last ran a different thread). With [?core] the
+    burst is pinned to that core; otherwise the thread's affinity
+    (default: thread id mod ncores) is used. Must be called from a
+    simulated process. *)
+
+val pin : t -> thread:thread_id -> core:int -> unit
+(** Sets the thread's core affinity for subsequent unpinned bursts. *)
+
+val context_switches : t -> int
+(** Total context switches across all cores since the last reset. *)
+
+val busy_ns : t -> float
+(** Total busy nanoseconds across all cores since the last reset. *)
+
+val busy_ns_of_core : t -> int -> float
+
+val utilization : t -> elapsed:float -> float
+(** Busy fraction of the whole machine over [elapsed] ns: in [0,1]. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,107 @@
+type resumer = unit -> unit
+
+type key = { time : float; seq : int }
+
+type t = {
+  mutable now : float;
+  events : (key, unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable executed : int;
+}
+
+exception Stopped
+
+type _ Effect.t += Wait : (t * float) -> unit Effect.t
+type _ Effect.t += Suspend : (t * (resumer -> unit)) -> unit Effect.t
+
+(* The engine a process belongs to, used so [wait]/[suspend] need no
+   explicit engine argument. Set for the dynamic extent of each event. *)
+let current_engine : t option ref = ref None
+
+let compare_key a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { now = 0.0; events = Heap.create ~cmp:compare_key (); seq = 0; executed = 0 }
+
+let now t = t.now
+
+let schedule t time thunk =
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time; seq = t.seq } thunk
+
+let handler t =
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+    function
+    | Wait (owner, d) ->
+        assert (owner == t);
+        Some
+          (fun k ->
+            let d = if d < 0.0 then 0.0 else d in
+            schedule t (t.now +. d) (fun () -> Effect.Deep.continue k ()))
+    | Suspend (owner, register) ->
+        assert (owner == t);
+        Some
+          (fun k ->
+            let fired = ref false in
+            let resume () =
+              if not !fired then begin
+                fired := true;
+                schedule t t.now (fun () -> Effect.Deep.continue k ())
+              end
+            in
+            register resume)
+    | _ -> None
+  in
+  { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc }
+
+let spawn t ?name f =
+  ignore name;
+  schedule t t.now (fun () -> Effect.Deep.match_with f () (handler t))
+
+let spawn_at t time f =
+  let time = Stdlib.max time t.now in
+  schedule t time (fun () -> Effect.Deep.match_with f () (handler t))
+
+let engine_of_process () =
+  match !current_engine with
+  | Some t -> t
+  | None -> invalid_arg "Engine.wait/suspend called outside a process"
+
+let wait d =
+  let t = engine_of_process () in
+  Effect.perform (Wait (t, d))
+
+let suspend register =
+  let t = engine_of_process () in
+  Effect.perform (Suspend (t, register))
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some (k, thunk) ->
+      t.now <- k.time;
+      t.executed <- t.executed + 1;
+      let saved = !current_engine in
+      current_engine := Some t;
+      Fun.protect ~finally:(fun () -> current_engine := saved) thunk;
+      true
+
+let run ?until t =
+  let limit = match until with None -> Float.infinity | Some u -> u in
+  let continue_run = ref true in
+  while !continue_run do
+    match Heap.peek t.events with
+    | None -> continue_run := false
+    | Some (k, _) when k.time > limit ->
+        t.now <- limit;
+        continue_run := false
+    | Some _ -> ignore (step t)
+  done
+
+let active t = not (Heap.is_empty t.events)
+
+let events_executed t = t.executed
+
+let stop_all t = Heap.clear t.events

@@ -1,0 +1,60 @@
+(** Discrete-event simulation engine.
+
+    Simulated processes are ordinary OCaml functions run under an effect
+    handler. Inside a process, {!wait} advances virtual time and
+    {!suspend} parks the process until some other process resumes it.
+    The event queue is ordered by (time, sequence number), so runs are
+    fully deterministic.
+
+    Virtual time is a [float] count of nanoseconds since simulation
+    start. *)
+
+type t
+
+type resumer = unit -> unit
+(** Calling a resumer schedules the suspended process to continue at the
+    current virtual time. A resumer is one-shot: second and later calls
+    are ignored. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in nanoseconds. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t f] registers process [f] to start at the current time.
+    May be called from inside or outside a running process. *)
+
+val spawn_at : t -> float -> (unit -> unit) -> unit
+(** [spawn_at t time f] starts [f] at absolute virtual [time]. *)
+
+val wait : float -> unit
+(** [wait d] suspends the calling process for [d] simulated nanoseconds.
+    Negative [d] is treated as 0. Must be called from within a process. *)
+
+val suspend : (resumer -> unit) -> unit
+(** [suspend register] parks the calling process and hands a one-shot
+    {!resumer} to [register]. The process continues when the resumer is
+    invoked. *)
+
+val run : ?until:float -> t -> unit
+(** Executes events until the queue drains or virtual time would exceed
+    [until]. Processes still suspended when the queue drains simply never
+    continue (this models daemons outliving the experiment). *)
+
+val step : t -> bool
+(** Executes exactly one event; false when the queue is empty. Lets a
+    caller interleave simulation with a host-side stop condition without
+    discarding pending events. *)
+
+val active : t -> bool
+(** True while the engine has queued events. *)
+
+val events_executed : t -> int
+(** Total event count; useful for regression tests on determinism. *)
+
+exception Stopped
+(** Raised inside processes that the engine terminates via {!stop_all}. *)
+
+val stop_all : t -> unit
+(** Drops all queued events. Suspended processes are abandoned. *)

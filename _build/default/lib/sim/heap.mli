@@ -1,0 +1,23 @@
+(** Array-backed binary min-heap used as the simulator event queue. *)
+
+type ('k, 'v) t
+
+val create : cmp:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val push : ('k, 'v) t -> 'k -> 'v -> unit
+
+val peek : ('k, 'v) t -> ('k * 'v) option
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the minimum-key entry. Ties are broken
+    arbitrarily; callers needing stability must encode a sequence number
+    in the key. *)
+
+val clear : ('k, 'v) t -> unit
+
+val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
+(** Non-destructive; for tests. *)

@@ -1,0 +1,15 @@
+(** The simulated machine: one engine, one CPU complex, one cost table,
+    one root RNG. Threaded through every higher layer. *)
+
+type t = { engine : Engine.t; cpu : Cpu.t; costs : Costs.t; rng : Rng.t }
+
+val create : ?costs:Costs.t -> ?seed:int -> ncores:int -> unit -> t
+
+val now : t -> float
+
+val run : ?until:float -> t -> unit
+
+val spawn : t -> (unit -> unit) -> unit
+
+val compute : t -> thread:Cpu.thread_id -> float -> unit
+(** Charge CPU time on the thread's core. *)

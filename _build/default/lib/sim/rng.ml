@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_raw t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split t = { state = next_raw t }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits in OCaml's native non-negative int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_raw t) 2) in
+  r mod bound
+
+let float t bound =
+  (* 53 random bits scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (next_raw t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_raw t) 1L = 1L
+
+let exponential t mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let normal t ~mean ~stddev =
+  let u1 = Stdlib.max epsilon_float (float t 1.0) in
+  let u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let zipf t ~n ~theta =
+  assert (n > 0);
+  if theta <= 0.0 then int t n
+  else begin
+    (* Inverse-CDF on the generalized harmonic number, computed lazily.
+       Good enough for workload skew; not on any hot path. *)
+    let h = ref 0.0 in
+    for k = 1 to n do
+      h := !h +. (1.0 /. Float.pow (Stdlib.float_of_int k) theta)
+    done;
+    let target = float t !h in
+    let acc = ref 0.0 in
+    let result = ref (n - 1) in
+    (try
+       for k = 1 to n do
+         acc := !acc +. (1.0 /. Float.pow (Stdlib.float_of_int k) theta);
+         if !acc >= target then begin
+           result := k - 1;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

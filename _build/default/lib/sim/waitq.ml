@@ -1,0 +1,27 @@
+type 'a entry = { slot : 'a option ref; resume : Engine.resumer }
+
+type 'a t = 'a entry Queue.t
+
+let create () = Queue.create ()
+
+let is_empty = Queue.is_empty
+
+let length = Queue.length
+
+let park q slot =
+  Engine.suspend (fun resume -> Queue.add { slot; resume } q)
+
+let wake q v =
+  match Queue.take_opt q with
+  | None -> false
+  | Some e ->
+      e.slot := Some v;
+      e.resume ();
+      true
+
+let wake_all q v =
+  let n = Queue.length q in
+  for _ = 1 to n do
+    ignore (wake q v)
+  done;
+  n

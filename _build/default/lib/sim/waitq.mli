@@ -1,0 +1,22 @@
+(** FIFO queue of parked processes, the building block for blocking
+    primitives. Each entry carries a callback that receives the wake-up
+    value and then resumes the process. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val park : 'a t -> 'a option ref -> unit
+(** [park q slot] suspends the calling process, enqueueing it on [q].
+    When woken by {!wake}, the wake value has been stored in [slot]. *)
+
+val wake : 'a t -> 'a -> bool
+(** [wake q v] resumes the oldest parked process with value [v]. Returns
+    false if nobody was parked. *)
+
+val wake_all : 'a t -> 'a -> int
+(** Wakes every parked process; returns the number woken. *)

@@ -1,0 +1,1 @@
+lib/workloads/adapters.ml: Client Filebench Fxmark Hashtbl Kfs Lab_kernel Lab_runtime Lab_sim Labios

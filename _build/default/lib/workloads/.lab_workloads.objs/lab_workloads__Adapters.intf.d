@@ -1,0 +1,1 @@
+lib/workloads/adapters.mli: Filebench Fxmark Lab_kernel Lab_runtime Labios

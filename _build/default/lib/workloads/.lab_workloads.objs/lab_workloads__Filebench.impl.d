@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Engine Lab_sim Machine Printf Rng Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/fio.ml: Array Engine Lab_core Lab_sim Machine Option Request Rng Stats Stdlib

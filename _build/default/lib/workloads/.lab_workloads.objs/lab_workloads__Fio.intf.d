@@ -1,0 +1,1 @@
+lib/workloads/fio.mli: Lab_core Lab_sim

@@ -1,0 +1,1 @@
+lib/workloads/fxmark.ml: Engine Lab_sim Machine Printf Stdlib

@@ -1,0 +1,1 @@
+lib/workloads/fxmark.mli: Lab_sim

@@ -1,0 +1,1 @@
+lib/workloads/labios.mli: Lab_sim

@@ -1,0 +1,1 @@
+lib/workloads/pfs.ml: Array Engine Lab_sim Machine Printf Semaphore Stdlib

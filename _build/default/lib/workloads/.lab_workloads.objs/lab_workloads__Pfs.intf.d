@@ -1,0 +1,1 @@
+lib/workloads/pfs.mli: Lab_sim

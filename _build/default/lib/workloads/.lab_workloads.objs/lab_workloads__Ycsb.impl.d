@@ -1,0 +1,1 @@
+lib/workloads/ycsb.ml: Engine Lab_sim Machine Printf Rng Stats Stdlib

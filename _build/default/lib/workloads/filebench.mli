@@ -1,0 +1,39 @@
+(** Filebench-style application workload personalities: varmail,
+    webserver, webproxy and fileserver (default configurations, scaled
+    to simulation size). The filesystem under test is supplied as an
+    operation record so the same personality drives kernel filesystems
+    and LabStor stacks. *)
+
+type fs_ops = {
+  create : thread:int -> string -> unit;
+  write : thread:int -> string -> off:int -> bytes:int -> unit;
+  read : thread:int -> string -> off:int -> bytes:int -> unit;
+  fsync : thread:int -> string -> unit;
+  delete : thread:int -> string -> unit;
+  open_ : thread:int -> string -> unit;  (** open without create *)
+  close : thread:int -> string -> unit;
+}
+
+type personality = Varmail | Webserver | Webproxy | Fileserver
+
+val personality_name : personality -> string
+
+val all : personality list
+
+type result = {
+  ops : int;
+  elapsed_ns : float;
+  ops_per_sec : float;
+  mib_per_sec : float;
+}
+
+val run :
+  Lab_sim.Machine.t ->
+  personality ->
+  ?nthreads:int ->
+  ?iterations:int ->
+  fs_ops ->
+  result
+(** Pre-populates the fileset, then runs [iterations] personality loops
+    per thread (defaults: 8 threads, 50 iterations). Must run inside a
+    simulated process. *)

@@ -1,0 +1,33 @@
+(** FxMark-style filesystem metadata microbenchmarks (file creation
+    stress, the paper's Figure 7 workload). *)
+
+type fs_ops = {
+  create : thread:int -> string -> unit;
+  unlink : thread:int -> string -> unit;
+  rename : thread:int -> src:string -> dst:string -> unit;
+}
+
+type result = {
+  ops : int;
+  elapsed_ns : float;
+  ops_per_sec : float;
+}
+
+val run_create :
+  Lab_sim.Machine.t ->
+  nthreads:int ->
+  files_per_thread:int ->
+  shared_dir:bool ->
+  fs_ops ->
+  result
+(** Each thread creates [files_per_thread] files, either all in one
+    shared directory (maximum contention, MWCM) or in per-thread private
+    directories (MWCL). Must run inside a simulated process. *)
+
+val run_mixed :
+  Lab_sim.Machine.t ->
+  nthreads:int ->
+  ops_per_thread:int ->
+  fs_ops ->
+  result
+(** Create / rename / unlink mix (60/20/20) in a shared directory. *)

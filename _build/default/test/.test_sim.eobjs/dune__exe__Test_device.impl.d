@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Device Engine Lab_device Lab_sim List Printf Profile QCheck QCheck_alcotest Rng Stats

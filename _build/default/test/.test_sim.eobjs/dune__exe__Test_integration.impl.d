@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Device Format Lab_core Lab_workloads Labstor List Mods Module_manager Option Platform Printf Registry Request Runtime Sim Stack Stack_spec

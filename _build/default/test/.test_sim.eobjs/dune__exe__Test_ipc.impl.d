@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest Engine Float Ipc_manager Lab_ipc Lab_sim List QCheck QCheck_alcotest Qp Ring Shmem Waitq

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Api Array Blk Device Engine Gen Kfs Lab_device Lab_kernel Lab_sim List Lru Machine Option Page_cache Printf Profile QCheck QCheck_alcotest Stdlib

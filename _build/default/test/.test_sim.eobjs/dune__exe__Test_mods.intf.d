@@ -1,0 +1,1 @@
+test/test_mods.mli:

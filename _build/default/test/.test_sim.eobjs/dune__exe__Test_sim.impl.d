@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Cpu Engine Float Gen Heap Int Lab_sim List Mailbox Option Printf QCheck QCheck_alcotest Rng Semaphore Stats Stdlib

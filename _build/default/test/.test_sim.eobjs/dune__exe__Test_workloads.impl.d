@@ -1,0 +1,1 @@
+test/test_workloads.ml: Adapters Alcotest Api Array Blk Device Filebench Fio Fxmark Hashtbl Kfs Lab_core Lab_device Lab_kernel Lab_sim Lab_workloads Labios List Machine Pfs Printf Profile Stats Ycsb

@@ -1,0 +1,481 @@
+(* Tests for the lab_sim discrete-event simulation substrate. *)
+
+open Lab_sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_wait_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.spawn e (fun () ->
+      Engine.wait 10.0;
+      log := ("a", Engine.now e) :: !log);
+  Engine.spawn e (fun () ->
+      Engine.wait 5.0;
+      log := ("b", Engine.now e) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "events in time order"
+    [ ("b", 5.0); ("a", 10.0) ]
+    (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Engine.wait 7.0;
+        log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO among equal timestamps" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_nested_spawn () =
+  let e = Engine.create () in
+  let finished = ref 0.0 in
+  Engine.spawn e (fun () ->
+      Engine.wait 3.0;
+      Engine.spawn e (fun () ->
+          Engine.wait 4.0;
+          finished := Engine.now e));
+  Engine.run e;
+  check_float "child sees parent's clock" 7.0 !finished
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 100 do
+        Engine.wait 10.0;
+        incr hits
+      done);
+  Engine.run ~until:55.0 e;
+  Alcotest.(check int) "stopped at limit" 5 !hits;
+  check_float "clock clamped to limit" 55.0 (Engine.now e)
+
+let test_engine_negative_wait () =
+  let e = Engine.create () in
+  let ok = ref false in
+  Engine.spawn e (fun () ->
+      Engine.wait (-5.0);
+      ok := Engine.now e = 0.0);
+  Engine.run e;
+  Alcotest.(check bool) "negative wait is zero" true !ok
+
+let test_engine_suspend_resume () =
+  let e = Engine.create () in
+  let resumer = ref None in
+  let resumed_at = ref Float.nan in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun r -> resumer := Some r);
+      resumed_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.wait 42.0;
+      match !resumer with Some r -> r () | None -> Alcotest.fail "no resumer");
+  Engine.run e;
+  check_float "resumed at resumer's time" 42.0 !resumed_at
+
+let test_engine_resumer_one_shot () =
+  let e = Engine.create () in
+  let wakeups = ref 0 in
+  let resumer = ref None in
+  Engine.spawn e (fun () ->
+      Engine.suspend (fun r -> resumer := Some r);
+      incr wakeups);
+  Engine.spawn e (fun () ->
+      Engine.wait 1.0;
+      let r = Option.get !resumer in
+      r ();
+      r ();
+      r ());
+  Engine.run e;
+  Alcotest.(check int) "woken exactly once" 1 !wakeups
+
+let test_engine_determinism () =
+  let run_once () =
+    let e = Engine.create () in
+    let rng = Rng.create 7 in
+    let trace = Buffer.create 256 in
+    for i = 1 to 20 do
+      Engine.spawn e (fun () ->
+          Engine.wait (Rng.float rng 100.0);
+          Buffer.add_string trace (Printf.sprintf "%d@%.3f;" i (Engine.now e)))
+    done;
+    Engine.run e;
+    (Buffer.contents trace, Engine.events_executed e)
+  in
+  let a = run_once () and b = run_once () in
+  Alcotest.(check (pair string int)) "identical replay" a b
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:Int.compare () in
+  List.iter (fun k -> Heap.push h k (string_of_int k)) [ 5; 3; 9; 1; 7; 1 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 5; 7; 9 ] (drain [])
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any input sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare () in
+      List.iter (fun x -> Heap.push h x ()) xs;
+      let drained = List.map fst (Heap.to_sorted_list h) in
+      drained = List.sort Int.compare xs)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap length tracks push/pop" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare () in
+      List.iter (fun x -> Heap.push h x ()) xs;
+      let n = List.length xs in
+      let ok = ref (Heap.length h = n) in
+      for i = 1 to n do
+        ignore (Heap.pop h);
+        ok := !ok && Heap.length h = n - i
+      done;
+      !ok && Heap.pop h = None)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn e (fun () ->
+      for i = 1 to 4 do
+        Mailbox.put mb i
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 4 do
+        got := Mailbox.get mb :: !got
+      done);
+  Engine.run e;
+  Alcotest.(check (list int)) "FIFO order" [ 1; 2; 3; 4 ] (List.rev !got)
+
+let test_mailbox_blocking_get () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let received_at = ref Float.nan in
+  Engine.spawn e (fun () ->
+      ignore (Mailbox.get mb);
+      received_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.wait 30.0;
+      Mailbox.put mb 1);
+  Engine.run e;
+  check_float "getter blocked until put" 30.0 !received_at
+
+let test_mailbox_capacity_blocks_put () =
+  let e = Engine.create () in
+  let mb = Mailbox.create ~capacity:2 () in
+  let done_at = ref Float.nan in
+  Engine.spawn e (fun () ->
+      Mailbox.put mb 1;
+      Mailbox.put mb 2;
+      Mailbox.put mb 3;
+      (* must block until a get *)
+      done_at := Engine.now e);
+  Engine.spawn e (fun () ->
+      Engine.wait 50.0;
+      ignore (Mailbox.get mb));
+  Engine.run e;
+  check_float "third put blocked" 50.0 !done_at
+
+let test_mailbox_try_ops () =
+  let e = Engine.create () in
+  let mb = Mailbox.create ~capacity:1 () in
+  Engine.spawn e (fun () ->
+      Alcotest.(check bool) "try_put into empty" true (Mailbox.try_put mb 1);
+      Alcotest.(check bool) "try_put into full" false (Mailbox.try_put mb 2);
+      Alcotest.(check (option int)) "try_get" (Some 1) (Mailbox.try_get mb);
+      Alcotest.(check (option int)) "try_get empty" None (Mailbox.try_get mb));
+  Engine.run e
+
+let prop_mailbox_preserves_sequence =
+  QCheck.Test.make ~name:"mailbox delivers every message in order" ~count:100
+    QCheck.(pair (list small_int) (int_range 1 8))
+    (fun (xs, cap) ->
+      let e = Engine.create () in
+      let mb = Mailbox.create ~capacity:cap () in
+      let out = ref [] in
+      Engine.spawn e (fun () -> List.iter (fun x -> Mailbox.put mb x) xs);
+      Engine.spawn e (fun () ->
+          for _ = 1 to List.length xs do
+            out := Mailbox.get mb :: !out
+          done);
+      Engine.run e;
+      List.rev !out = xs)
+
+(* ------------------------------------------------------------------ *)
+(* Semaphore                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_semaphore_mutex () =
+  let e = Engine.create () in
+  let s = Semaphore.create 1 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 5 do
+    Engine.spawn e (fun () ->
+        Semaphore.acquire s;
+        incr inside;
+        if !inside > !max_inside then max_inside := !inside;
+        Engine.wait 10.0;
+        decr inside;
+        Semaphore.release s)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "mutual exclusion" 1 !max_inside;
+  check_float "serialized duration" 50.0 (Engine.now e)
+
+let test_semaphore_counting () =
+  let e = Engine.create () in
+  let s = Semaphore.create 3 in
+  let peak = ref 0 and inside = ref 0 in
+  for _ = 1 to 9 do
+    Engine.spawn e (fun () ->
+        Semaphore.acquire s;
+        incr inside;
+        if !inside > !peak then peak := !inside;
+        Engine.wait 10.0;
+        decr inside;
+        Semaphore.release s)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "three at a time" 3 !peak;
+  check_float "three batches" 30.0 (Engine.now e)
+
+(* ------------------------------------------------------------------ *)
+(* Cpu                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_dedicated_core_no_switches () =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~ncores:2 () in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 10 do
+        Cpu.compute cpu ~thread:0 100.0
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 10 do
+        Cpu.compute cpu ~thread:1 100.0
+      done);
+  Engine.run e;
+  Alcotest.(check int) "no switches on dedicated cores" 0
+    (Cpu.context_switches cpu)
+
+let test_cpu_shared_core_switches () =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~ncores:1 () in
+  Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        Cpu.compute cpu ~thread:0 100.0
+      done);
+  Engine.spawn e (fun () ->
+      for _ = 1 to 3 do
+        Cpu.compute cpu ~thread:1 100.0
+      done);
+  Engine.run e;
+  Alcotest.(check bool) "interleaving causes switches" true
+    (Cpu.context_switches cpu >= 4)
+
+let test_cpu_utilization () =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~ncores:4 () in
+  Engine.spawn e (fun () -> Cpu.compute cpu ~thread:0 1000.0);
+  Engine.run e;
+  check_float "one core busy 1000 of 4*1000" 0.25
+    (Cpu.utilization cpu ~elapsed:1000.0)
+
+let test_cpu_pinning () =
+  let e = Engine.create () in
+  let cpu = Cpu.create ~ncores:4 () in
+  Cpu.pin cpu ~thread:9 ~core:2;
+  Engine.spawn e (fun () -> Cpu.compute cpu ~thread:9 500.0);
+  Engine.run e;
+  check_float "burst landed on pinned core" 500.0 (Cpu.busy_ns_of_core cpu 2)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 4.0 (Stats.max s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (Stdlib.float_of_int i)
+  done;
+  check_float "p50" 50.0 (Stats.percentile s 50.0);
+  check_float "p99" 99.0 (Stats.percentile s 99.0);
+  check_float "p100" 100.0 (Stats.percentile s 100.0)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "empty mean" 0.0 (Stats.mean s);
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Stats.percentile s 50.0))
+
+let prop_stats_percentile_matches_sorted =
+  QCheck.Test.make ~name:"percentile equals nearest-rank on sorted sample"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let sorted = Array.of_list (List.sort Float.compare xs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let rank = int_of_float (ceil (p /. 100.0 *. Stdlib.float_of_int n)) in
+          let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+          Stats.percentile s p = sorted.(idx))
+        [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ])
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean lies between min and max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 100) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min s -. 1e-6 && Stats.mean s <= Stats.max s +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int64 a) in
+  let ys = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        ok := !ok && v >= 0 && v < bound
+      done;
+      !ok)
+
+let prop_rng_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float stays within bound" ~count:200
+    QCheck.small_int
+    (fun seed ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let v = Rng.float r 10.0 in
+        ok := !ok && v >= 0.0 && v < 10.0
+      done;
+      !ok)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 13 in
+  let s = Stats.create () in
+  for _ = 1 to 20000 do
+    Stats.add s (Rng.exponential r 100.0)
+  done;
+  Alcotest.(check bool) "empirical mean near 100" true
+    (Float.abs (Stats.mean s -. 100.0) < 5.0)
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 5 in
+  let hits = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let k = Rng.zipf r ~n:10 ~theta:1.0 in
+    hits.(k) <- hits.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (hits.(0) > hits.(9))
+
+let () =
+  let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests) in
+  Alcotest.run "lab_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "wait order" `Quick test_engine_wait_order;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "nested spawn" `Quick test_engine_nested_spawn;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "negative wait" `Quick test_engine_negative_wait;
+          Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
+          Alcotest.test_case "resumer one-shot" `Quick test_engine_resumer_one_shot;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_heap_length ]
+      );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "blocking get" `Quick test_mailbox_blocking_get;
+          Alcotest.test_case "capacity blocks put" `Quick
+            test_mailbox_capacity_blocks_put;
+          Alcotest.test_case "try ops" `Quick test_mailbox_try_ops;
+          QCheck_alcotest.to_alcotest prop_mailbox_preserves_sequence;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "mutex" `Quick test_semaphore_mutex;
+          Alcotest.test_case "counting" `Quick test_semaphore_counting;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "dedicated no switches" `Quick
+            test_cpu_dedicated_core_no_switches;
+          Alcotest.test_case "shared core switches" `Quick
+            test_cpu_shared_core_switches;
+          Alcotest.test_case "utilization" `Quick test_cpu_utilization;
+          Alcotest.test_case "pinning" `Quick test_cpu_pinning;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          QCheck_alcotest.to_alcotest prop_stats_percentile_matches_sorted;
+          QCheck_alcotest.to_alcotest prop_stats_mean_bounds;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+          QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_float_in_bounds;
+        ] );
+    ];
+  ignore qsuite
