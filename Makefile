@@ -1,0 +1,20 @@
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe all
+
+# Full health check: build + all test suites + fault-injection smoke
+# run (asserts deterministic fault traces). ~CI entry point.
+check:
+	@sh bin/check.sh
+
+clean:
+	dune clean

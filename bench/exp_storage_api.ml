@@ -66,7 +66,7 @@ let driver_iops kind which ~bytes ~total =
           Core.Labmod.machine = m;
           thread;
           forward = (fun _ -> Core.Request.Done);
-          forward_async = (fun _ -> ());
+          forward_async = (fun _ _ -> ());
         }
       in
       let counter = ref 0 in

@@ -20,6 +20,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ("labios", "Fig 9(b): LABIOS object store", Exp_labios.run);
     ("filebench", "Fig 9(c): Filebench workloads", Exp_filebench.run);
     ("ablate", "Ablations: cost sensitivity & design choices", Exp_ablate.run);
+    ( "faults",
+      "Robustness: fault injection, retry & degraded mode",
+      Exp_faults.run );
   ]
 
 let usage () =

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repo health check: build everything, run every test suite, then run
+# the fault-injection experiment in its ~2 s smoke configuration (which
+# also asserts trace determinism and exits nonzero on divergence).
+# Usage: bin/check.sh  (or: make check)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== fault-injection smoke (LABSTOR_SMOKE=1) =="
+LABSTOR_SMOKE=1 dune exec bench/main.exe -- faults
+
+echo "check: OK"

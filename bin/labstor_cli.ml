@@ -145,6 +145,105 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Mount a LabStack on a simulated NVMe machine and drive a create/write/close workload")
     Term.(const run $ stack_file $ config_file $ ops $ bytes $ threads)
 
+(* ---------------- faults ---------------- *)
+
+let faults_stack_spec =
+  {|
+mount: "blk::/dev/sim"
+rules:
+  exec_mode: async
+dag:
+  - uuid: sched0
+    mod: noop_sched
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+
+let faults_cmd =
+  let rate =
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~doc:"per-command I/O-error probability")
+  in
+  let timeout_rate =
+    Arg.(value & opt float 0.0 & info [ "timeout-rate" ] ~doc:"per-command transient-timeout probability")
+  in
+  let torn_rate =
+    Arg.(value & opt float 0.0 & info [ "torn-rate" ] ~doc:"per-write torn-write probability")
+  in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"fault-plan and workload seed") in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"block writes per thread") in
+  let bytes = Arg.(value & opt int 4096 & info [ "bytes" ] ~doc:"bytes per write") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"client threads") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"print the full fault trace") in
+  let run rate timeout_rate torn_rate seed ops bytes threads trace =
+    let rates =
+      {
+        Sim.Fault.io_error = rate;
+        timeout = timeout_rate;
+        timeout_delay_ns = 200_000.0;
+        torn_write = torn_rate;
+      }
+    in
+    let platform = Platform.boot ~nworkers:4 ~seed ~fault_rates:rates () in
+    (match Platform.mount platform faults_stack_spec with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "mount error: %s\n" e;
+        exit 1);
+    let machine = Platform.machine platform in
+    let lat = Sim.Stats.create () in
+    let failed = ref 0 in
+    let clients = ref [] in
+    Platform.go platform (fun () ->
+        let finished = ref 0 in
+        Sim.Engine.suspend (fun resume ->
+            for th = 0 to threads - 1 do
+              Sim.Engine.spawn machine.Sim.Machine.engine (fun () ->
+                  let c = Platform.client platform ~thread:th () in
+                  clients := c :: !clients;
+                  let rng = Sim.Rng.create (seed lxor (th * 7919)) in
+                  for _ = 1 to ops do
+                    let lba = Sim.Rng.int rng 262144 in
+                    let t0 = Sim.Machine.now machine in
+                    match
+                      Runtime.Client.write_block c ~mount:"blk::/dev/sim" ~lba ~bytes
+                    with
+                    | Ok _ -> Sim.Stats.add lat (Sim.Machine.now machine -. t0)
+                    | Error _ -> incr failed
+                  done;
+                  incr finished;
+                  if !finished = threads then resume ())
+            done));
+    let elapsed = Platform.now platform in
+    let total = ops * threads in
+    Printf.printf "fault sweep: %d writes x %d B, io_error=%.4f timeout=%.4f torn=%.4f seed=%#x\n"
+      total bytes rate timeout_rate torn_rate seed;
+    Printf.printf "  throughput    %.1f kIOPS (%.2f ms simulated)\n"
+      (float_of_int total /. (elapsed /. 1e9) /. 1000.0)
+      (elapsed /. 1e6);
+    Printf.printf "  latency       p50 %.1f us  p99 %.1f us\n"
+      (Sim.Stats.percentile lat 50.0 /. 1e3)
+      (Sim.Stats.percentile lat 99.0 /. 1e3);
+    Printf.printf "  failed        %d of %d surfaced to the application\n" !failed total;
+    (match Platform.fault_plan platform Device.Profile.Nvme with
+    | Some plan ->
+        Printf.printf "  injected      %s (total %d)\n"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (Sim.Fault.injected plan)))
+          (Sim.Fault.injected_total plan);
+        if trace then List.iter (fun l -> Printf.printf "    %s\n" l) (Sim.Fault.trace plan)
+    | None -> ());
+    let sum f = List.fold_left (fun acc c -> acc + f c) 0 !clients in
+    Printf.printf "  client policy retries=%d requeues=%d deadline_misses=%d exhausted=%d\n"
+      (sum Runtime.Client.retries) (sum Runtime.Client.requeues)
+      (sum Runtime.Client.deadline_misses)
+      (sum Runtime.Client.exhausted_retries)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Drive a block workload against a device with a deterministic fault plan and report fault/retry counters")
+    Term.(const run $ rate $ timeout_rate $ torn_rate $ seed $ ops $ bytes $ threads $ trace)
+
 (* ---------------- mods ---------------- *)
 
 let mods_cmd =
@@ -170,4 +269,4 @@ let () =
     Cmd.info "labstor_cli" ~version:"1.0.0"
       ~doc:"LabStor platform utilities (simulated deployment)"
   in
-  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; mods_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; faults_cmd; mods_cmd ]))

@@ -18,7 +18,7 @@ type ctx = {
   machine : Lab_sim.Machine.t;
   thread : int;
   forward : Request.t -> Request.result;
-  forward_async : Request.t -> unit;
+  forward_async : Request.t -> (Request.result -> unit) -> unit;
 }
 
 type t = {

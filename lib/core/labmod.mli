@@ -38,10 +38,12 @@ type ctx = {
   forward : Request.t -> Request.result;
       (** hands a (possibly derived) request to the next stage(s) of the
           LabStack DAG and waits for their result *)
-  forward_async : Request.t -> unit;
-      (** fire-and-forget variant: the downstream stages run in their
-          own process while the operator continues (the paper's
-          asynchronous message passing between LabMods) *)
+  forward_async : Request.t -> (Request.result -> unit) -> unit;
+      (** asynchronous variant: the downstream stages run in their own
+          process while the operator continues (the paper's asynchronous
+          message passing between LabMods); the callback fires with the
+          downstream result so writeback/group-commit failures are
+          observable — pass [ignore] to fire-and-forget *)
 }
 
 type t = {

@@ -73,6 +73,32 @@ let bytes_of t =
 
 let is_ok = function Done | Fd _ | Size _ -> true | Denied _ | Failed _ -> false
 
+(* Errno-style failures: device faults surface as [Failed "ECODE: ..."]
+   so clients can pick a recovery policy without a new result variant
+   (which would ripple through every LabMod). *)
+let failed_errno errno detail = Failed (errno ^ ": " ^ detail)
+
+let errno_of_result = function
+  | Failed msg -> (
+      match String.index_opt msg ':' with
+      | Some i when i >= 2 ->
+          let tok = String.sub msg 0 i in
+          if
+            tok.[0] = 'E'
+            && String.for_all (fun ch -> ch >= 'A' && ch <= 'Z') tok
+          then Some tok
+          else None
+      | _ -> None)
+  | Done | Fd _ | Size _ | Denied _ -> None
+
+(* Failures worth retrying: media errors, torn writes (rewrite the
+   data) and offline queues (requeue elsewhere). A blown deadline
+   (ETIMEDOUT) is final — the time budget is already spent. *)
+let is_transient_failure r =
+  match errno_of_result r with
+  | Some ("EIO" | "EOFFLINE" | "ETORN") -> true
+  | Some _ | None -> false
+
 let pp_payload fmt = function
   | Posix (Open { path; create }) ->
       Format.fprintf fmt "open(%s%s)" path (if create then ", O_CREAT" else "")

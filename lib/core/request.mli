@@ -72,6 +72,19 @@ val bytes_of : t -> int
 
 val is_ok : result -> bool
 
+val failed_errno : string -> string -> result
+(** [failed_errno "EIO" detail] is [Failed "EIO: detail"]. Device faults
+    travel through stacks in this errno-tagged form so client-side
+    policy can distinguish retryable failures from semantic ones. *)
+
+val errno_of_result : result -> string option
+(** The leading ["E..."] token of an errno-tagged [Failed], if any.
+    Ordinary failures (e.g. ["labfs: no such file"]) yield [None]. *)
+
+val is_transient_failure : result -> bool
+(** True for [EIO], [EOFFLINE] and [ETORN] failures — the ones a client
+    may retry (with requeueing for [EOFFLINE]). [ETIMEDOUT] is final. *)
+
 val pp_payload : Format.formatter -> payload -> unit
 
 val pp_result : Format.formatter -> result -> unit

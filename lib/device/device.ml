@@ -10,12 +10,21 @@ type completion = {
   c_completed : float;
 }
 
+type error = E_io | E_offline | E_timeout | E_torn of int
+
+let error_to_string = function
+  | E_io -> "EIO"
+  | E_offline -> "EOFFLINE"
+  | E_timeout -> "ETIMEDOUT"
+  | E_torn n -> Printf.sprintf "ETORN(%d persisted)" n
+
 type request = {
   kind : io_kind;
   lba : int;
   bytes : int;
   submitted : float;
-  on_complete : completion -> unit;
+  fault : Fault.decision;  (* drawn from the fault plan at submit time *)
+  on_complete : (completion, error) result -> unit;
 }
 
 type transfer_item = { treq : request; tbytes : int; resume : unit -> unit }
@@ -35,9 +44,11 @@ type t = {
   flush_waiters : unit Waitq.t;
   mutable completed_reads : int;
   mutable completed_writes : int;
+  mutable completed_errors : int;
   mutable bytes_read : int;
   mutable bytes_written : int;
   service : Stats.t;
+  mutable faults : Fault.t option;
 }
 
 let profile t = t.profile
@@ -52,6 +63,12 @@ let completed_reads t = t.completed_reads
 
 let completed_writes t = t.completed_writes
 
+let completed_errors t = t.completed_errors
+
+let set_fault_plan t plan = t.faults <- Some plan
+
+let fault_plan t = t.faults
+
 let bytes_read t = t.bytes_read
 
 let bytes_written t = t.bytes_written
@@ -61,6 +78,7 @@ let service_stats t = t.service
 let reset_stats t =
   t.completed_reads <- 0;
   t.completed_writes <- 0;
+  t.completed_errors <- 0;
   t.bytes_read <- 0;
   t.bytes_written <- 0;
   Stats.clear t.service
@@ -81,38 +99,71 @@ let seek_cost t lba bytes =
     if lba = here then 0.0 else t.profile.Profile.avg_seek_ns
   end
 
-let complete t req =
-  let completion =
-    {
-      c_kind = req.kind;
-      c_lba = req.lba;
-      c_bytes = req.bytes;
-      c_submitted = req.submitted;
-      c_completed = Engine.now t.engine;
-    }
-  in
-  Stats.add t.service (completion.c_completed -. completion.c_submitted);
-  (match req.kind with
-  | Read ->
-      t.completed_reads <- t.completed_reads + 1;
-      t.bytes_read <- t.bytes_read + req.bytes
-  | Write ->
-      t.completed_writes <- t.completed_writes + 1;
-      t.bytes_written <- t.bytes_written + req.bytes);
+let finish t req result =
+  Stats.add t.service (Engine.now t.engine -. req.submitted);
+  (match result with
+  | Ok _ -> (
+      match req.kind with
+      | Read ->
+          t.completed_reads <- t.completed_reads + 1;
+          t.bytes_read <- t.bytes_read + req.bytes
+      | Write ->
+          t.completed_writes <- t.completed_writes + 1;
+          t.bytes_written <- t.bytes_written + req.bytes)
+  | Error (E_torn n) ->
+      (* A torn write persisted a prefix: account only those bytes. *)
+      t.completed_errors <- t.completed_errors + 1;
+      if req.kind = Write then t.bytes_written <- t.bytes_written + n
+  | Error _ -> t.completed_errors <- t.completed_errors + 1);
   t.outstanding <- t.outstanding - 1;
   if t.outstanding = 0 then ignore (Waitq.wake_all t.flush_waiters ());
-  req.on_complete completion
+  req.on_complete result
+
+let completion_of t req =
+  {
+    c_kind = req.kind;
+    c_lba = req.lba;
+    c_bytes = req.bytes;
+    c_submitted = req.submitted;
+    c_completed = Engine.now t.engine;
+  }
 
 let service t qidx req () =
-  let latency = latency_of t req.kind +. seek_cost t req.lba req.bytes in
-  Engine.wait latency;
-  Semaphore.release t.channels;
-  (* Transfer stage: enqueue on this hctx's transfer queue and wait for
-     the round-robin arbiter to move the payload. *)
-  Engine.suspend (fun resume ->
-      Queue.add { treq = req; tbytes = req.bytes; resume } t.transfer_queues.(qidx);
-      ignore (Waitq.wake t.transfer_bell ()));
-  complete t req
+  let transfer nbytes =
+    (* Transfer stage: enqueue on this hctx's transfer queue and wait
+       for the round-robin arbiter to move the payload. *)
+    if nbytes > 0 then
+      Engine.suspend (fun resume ->
+          Queue.add { treq = req; tbytes = nbytes; resume } t.transfer_queues.(qidx);
+          ignore (Waitq.wake t.transfer_bell ()))
+  in
+  match req.fault with
+  | Fault.Fail_io ->
+      (* Media error: the command occupies a channel for its nominal
+         latency, transfers nothing, completes with an error. *)
+      Engine.wait (latency_of t req.kind);
+      Semaphore.release t.channels;
+      finish t req (Error E_io)
+  | Fault.Delay d when not (Float.is_finite d) ->
+      (* Lost command: it never completes. Release the channel so the
+         rest of the device keeps serving; [outstanding] stays elevated
+         on purpose — recovering is the client deadline's job. *)
+      Engine.wait (latency_of t req.kind);
+      Semaphore.release t.channels;
+      Engine.suspend (fun _ -> ())
+  | Fault.Torn n ->
+      Engine.wait (latency_of t req.kind +. seek_cost t req.lba req.bytes);
+      Semaphore.release t.channels;
+      transfer n;
+      finish t req (Error (E_torn n))
+  | Fault.Pass | Fault.Delay _ | Fault.Reject_offline ->
+      (* Reject_offline is handled at submit time and never reaches the
+         queues; a finite Delay serves normally after the extra wait. *)
+      let extra = match req.fault with Fault.Delay d -> d | _ -> 0.0 in
+      Engine.wait (latency_of t req.kind +. seek_cost t req.lba req.bytes +. extra);
+      Semaphore.release t.channels;
+      transfer req.bytes;
+      finish t req (Ok (completion_of t req))
 
 (* The bandwidth arbiter: round-robin over the per-hctx transfer
    queues, except that small commands form an urgent class (NVMe
@@ -189,9 +240,11 @@ let create engine profile =
       flush_waiters = Waitq.create ();
       completed_reads = 0;
       completed_writes = 0;
+      completed_errors = 0;
       bytes_read = 0;
       bytes_written = 0;
       service = Stats.create ();
+      faults = None;
     }
   in
   for i = 0 to profile.n_hw_queues - 1 do
@@ -206,34 +259,107 @@ let create engine profile =
    queues usable next to bulk streams. *)
 let max_transfer_bytes = 256 * 1024
 
-let submit t ~hctx ~kind ~lba ~bytes ~on_complete =
+(* Aggregating chunk errors: the whole operation reports the most
+   severe outcome (offline > media error > timeout > torn), and a torn
+   verdict carries the total bytes actually persisted across chunks —
+   never more than were requested. *)
+let error_rank = function
+  | E_offline -> 3
+  | E_io -> 2
+  | E_timeout -> 1
+  | E_torn _ -> 0
+
+let submit_result t ~hctx ~kind ~lba ~bytes ~on_complete =
   if bytes <= 0 then invalid_arg "Device.submit: bytes must be positive";
   let hctx = hctx mod Array.length t.queues in
   let block = t.profile.Profile.block_size in
   let nchunks = (bytes + max_transfer_bytes - 1) / max_transfer_bytes in
   let remaining = ref nchunks in
+  let worst = ref None in
+  let persisted = ref 0 in
   let last_completion = ref None in
-  let chunk_done c =
-    last_completion := Some c;
+  let note e =
+    match !worst with
+    | Some w when error_rank w >= error_rank e -> ()
+    | _ -> worst := Some e
+  in
+  let chunk_done len result =
+    (match result with
+    | Ok c ->
+        last_completion := Some c;
+        persisted := !persisted + len
+    | Error (E_torn n) ->
+        persisted := !persisted + n;
+        note (E_torn n)
+    | Error e -> note e);
     decr remaining;
     if !remaining = 0 then
-      on_complete { c with c_bytes = bytes; c_lba = lba }
+      match !worst with
+      | None ->
+          let c =
+            match !last_completion with Some c -> c | None -> assert false
+          in
+          on_complete (Ok { c with c_bytes = bytes; c_lba = lba })
+      | Some (E_torn _) -> on_complete (Error (E_torn !persisted))
+      | Some e -> on_complete (Error e)
   in
   for i = 0 to nchunks - 1 do
     let off = i * max_transfer_bytes in
     let len = Stdlib.min max_transfer_bytes (bytes - off) in
-    t.outstanding <- t.outstanding + 1;
-    let req =
-      {
-        kind;
-        lba = lba + (off / block);
-        bytes = len;
-        submitted = Engine.now t.engine;
-        on_complete = chunk_done;
-      }
+    let now = Engine.now t.engine in
+    let fault =
+      match t.faults with
+      | None -> Fault.Pass
+      | Some plan ->
+          Fault.decide plan ~now ~queue:hctx
+            ~is_write:(match kind with Write -> true | Read -> false)
+            ~bytes:len
     in
-    Mailbox.put t.queues.(hctx) req
+    match fault with
+    | Fault.Reject_offline ->
+        (* The queue is offline: fail fast without entering the device —
+           no channel, no outstanding slot. Deliver asynchronously so
+           the submit path stays non-blocking. *)
+        Engine.spawn t.engine (fun () -> chunk_done len (Error E_offline))
+    | _ ->
+        t.outstanding <- t.outstanding + 1;
+        let req =
+          {
+            kind;
+            lba = lba + (off / block);
+            bytes = len;
+            submitted = now;
+            fault;
+            on_complete = chunk_done len;
+          }
+        in
+        Mailbox.put t.queues.(hctx) req
   done
+
+let submit_wait_result t ~hctx ~kind ~lba ~bytes =
+  let result = ref None in
+  Engine.suspend (fun resume ->
+      submit_result t ~hctx ~kind ~lba ~bytes ~on_complete:(fun r ->
+          result := Some r;
+          resume ()));
+  match !result with Some r -> r | None -> assert false
+
+(* Legacy always-Ok API: callers predating the fault plan get a
+   fabricated completion on error so they still make progress; the
+   error remains visible in [completed_errors]. *)
+let submit t ~hctx ~kind ~lba ~bytes ~on_complete =
+  let submitted = Engine.now t.engine in
+  submit_result t ~hctx ~kind ~lba ~bytes ~on_complete:(function
+    | Ok c -> on_complete c
+    | Error _ ->
+        on_complete
+          {
+            c_kind = kind;
+            c_lba = lba;
+            c_bytes = bytes;
+            c_submitted = submitted;
+            c_completed = Engine.now t.engine;
+          })
 
 let submit_wait t ~hctx ~kind ~lba ~bytes =
   let result = ref None in

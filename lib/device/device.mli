@@ -24,13 +24,52 @@ type completion = {
   c_completed : float;
 }
 
+type error =
+  | E_io  (** media error: command consumed its latency, moved no data *)
+  | E_offline  (** queue/device offline window: rejected at submission *)
+  | E_timeout  (** reserved for upper layers fabricating deadline misses *)
+  | E_torn of int
+      (** torn write: only this many bytes were persisted — always
+          strictly fewer than requested *)
+
+val error_to_string : error -> string
+
 val create : Lab_sim.Engine.t -> Profile.t -> t
+
+val set_fault_plan : t -> Lab_sim.Fault.t -> unit
+(** Installs a deterministic fault plan; every subsequently submitted
+    command consults it (per chunk, at submission time). Without a plan
+    the device is fault-free and behaves exactly as before. *)
+
+val fault_plan : t -> Lab_sim.Fault.t option
 
 val profile : t -> Profile.t
 
 val engine : t -> Lab_sim.Engine.t
 
 val n_hw_queues : t -> int
+
+val submit_result :
+  t ->
+  hctx:int ->
+  kind:io_kind ->
+  lba:int ->
+  bytes:int ->
+  on_complete:((completion, error) result -> unit) ->
+  unit
+(** Asynchronous submission; [on_complete] fires in device context with
+    the command's outcome. [hctx] is taken modulo the queue count.
+    Operations larger than the per-command transfer limit are split
+    into chunks; the reported outcome is the most severe chunk error
+    (offline > media error > torn), with [E_torn] carrying the total
+    bytes persisted. A command hit by an unbounded transient timeout is
+    {e lost}: [on_complete] never fires — recovering from that is the
+    client deadline's job. *)
+
+val submit_wait_result :
+  t -> hctx:int -> kind:io_kind -> lba:int -> bytes:int ->
+  (completion, error) result
+(** Blocking variant of {!submit_result}. *)
 
 val submit :
   t ->
@@ -40,12 +79,14 @@ val submit :
   bytes:int ->
   on_complete:(completion -> unit) ->
   unit
-(** Asynchronous submission; [on_complete] fires in device context at
-    completion time. [hctx] is taken modulo the queue count. *)
+(** Legacy always-Ok API: like {!submit_result} but faults are masked —
+    on error a fabricated completion is delivered so callers without an
+    error path still make progress ([completed_errors] still counts the
+    fault). New code should use {!submit_result}. *)
 
 val submit_wait : t -> hctx:int -> kind:io_kind -> lba:int -> bytes:int -> completion
 (** Blocking submission: suspends the calling process until the command
-    completes. *)
+    completes. Faults masked as in {!submit}. *)
 
 val flush : t -> unit
 (** Suspends the caller until every outstanding command has completed
@@ -58,6 +99,11 @@ val outstanding : t -> int
 val completed_reads : t -> int
 
 val completed_writes : t -> int
+
+val completed_errors : t -> int
+(** Commands that completed with an injected fault (media errors and
+    torn writes; offline rejections are counted by the fault plan, lost
+    commands never complete). *)
 
 val bytes_read : t -> int
 

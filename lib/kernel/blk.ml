@@ -87,3 +87,11 @@ let submit_io_to_hctx t ~thread ~hctx ~kind ~lba ~bytes ~on_complete =
   Device.submit t.dev ~hctx ~kind ~lba ~bytes ~on_complete:(fun _ ->
       track_end t hctx bytes;
       on_complete ())
+
+let submit_io_to_hctx_result t ~thread ~hctx ~kind ~lba ~bytes ~on_complete =
+  let costs = t.machine.Machine.costs in
+  Machine.compute t.machine ~thread costs.Costs.kalloc_ns;
+  track_start t hctx bytes;
+  Device.submit_result t.dev ~hctx ~kind ~lba ~bytes ~on_complete:(fun r ->
+      track_end t hctx bytes;
+      on_complete r)

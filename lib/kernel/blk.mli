@@ -48,7 +48,23 @@ val submit_io_to_hctx :
   unit
 (** LabStor's direct hardware-queue submission: skips the scheduler and
     the interrupt path (the caller polls for completion); still pays the
-    kernel request allocation. *)
+    kernel request allocation. Device faults are masked (legacy API);
+    use {!submit_io_to_hctx_result} to observe them. *)
+
+val submit_io_to_hctx_result :
+  t ->
+  thread:int ->
+  hctx:int ->
+  kind:Lab_device.Device.io_kind ->
+  lba:int ->
+  bytes:int ->
+  on_complete:
+    ((Lab_device.Device.completion, Lab_device.Device.error) result -> unit) ->
+  unit
+(** Like {!submit_io_to_hctx} but delivers the device outcome, so driver
+    LabMods can propagate injected faults upstream. In-flight accounting
+    ends on either outcome; a lost command (unbounded timeout) never
+    completes and keeps its in-flight slot, mirroring the device. *)
 
 val inflight : t -> int -> int
 (** In-flight requests on a given hardware queue. *)

@@ -13,13 +13,23 @@ let backend_name kind = String.lowercase_ascii (Profile.kind_to_string kind)
 
 let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(devices = [ Profile.Nvme ]) ?default_device ?(seed = 0xC0FFEE)
-    ?(workers_busy_poll = false) () =
+    ?(workers_busy_poll = false) ?fault_rates ?fault_script () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
   let devs =
     List.map (fun k -> (k, Device.create m.Machine.engine (Profile.of_kind k))) devices
   in
+  (* One fault plan per device, each with its own seed-derived stream so
+     adding a device never perturbs another device's fault sequence. *)
+  if fault_rates <> None || fault_script <> None then
+    List.iteri
+      (fun i (_, d) ->
+        Device.set_fault_plan d
+          (Fault.create ?rates:fault_rates ?script:fault_script
+             ~seed:(seed + (i * 7919))
+             ()))
+      devs;
   let backends =
     List.map (fun (k, d) -> (k, Lab_mods.Mods_env.backend_of_device m d)) devs
   in
@@ -50,6 +60,8 @@ let runtime t = t.rt
 
 let device t kind = List.assoc kind t.devs
 
+let fault_plan t kind = Device.fault_plan (device t kind)
+
 let backend t kind = List.assoc kind t.backends
 
 let mount t text = Lab_runtime.Runtime.mount_text t.rt text
@@ -59,7 +71,7 @@ let mount_exn t text =
   | Ok s -> s
   | Error e -> invalid_arg ("Platform.mount_exn: " ^ e)
 
-let client t ?pid ?(uid = 1000) ~thread () =
+let client t ?pid ?(uid = 1000) ?retry_policy ~thread () =
   let pid =
     match pid with
     | Some p -> p
@@ -67,7 +79,7 @@ let client t ?pid ?(uid = 1000) ~thread () =
         t.next_pid <- t.next_pid + 1;
         t.next_pid
   in
-  Lab_runtime.Client.connect t.rt ~pid ~uid ~thread ()
+  Lab_runtime.Client.connect t.rt ~pid ~uid ~thread ?retry_policy ()
 
 let go t f =
   let result = ref None in

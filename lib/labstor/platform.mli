@@ -14,11 +14,17 @@ val boot :
   ?default_device:Lab_device.Profile.kind ->
   ?seed:int ->
   ?workers_busy_poll:bool ->
+  ?fault_rates:Lab_sim.Fault.rates ->
+  ?fault_script:Lab_sim.Fault.event list ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
     device (plus any others listed). Backends are named after their
-    device kind in lowercase ("nvme", "ssd", "hdd", "pmem"). *)
+    device kind in lowercase ("nvme", "ssd", "hdd", "pmem").
+
+    If [fault_rates] or [fault_script] is given, every booted device
+    gets a deterministic fault plan derived from [seed] (one independent
+    stream per device); otherwise devices are fault-free. *)
 
 val machine : t -> Lab_sim.Machine.t
 
@@ -27,6 +33,10 @@ val runtime : t -> Lab_runtime.Runtime.t
 val device : t -> Lab_device.Profile.kind -> Lab_device.Device.t
 (** @raise Not_found if the kind was not booted. *)
 
+val fault_plan : t -> Lab_device.Profile.kind -> Lab_sim.Fault.t option
+(** The device's installed fault plan (for trace/counter inspection);
+    [None] when booted without faults. *)
+
 val backend : t -> Lab_device.Profile.kind -> Lab_mods.Mods_env.backend
 
 val mount : t -> string -> (Lab_core.Stack.t, string) result
@@ -34,7 +44,14 @@ val mount : t -> string -> (Lab_core.Stack.t, string) result
 
 val mount_exn : t -> string -> Lab_core.Stack.t
 
-val client : t -> ?pid:int -> ?uid:int -> thread:int -> unit -> Lab_runtime.Client.t
+val client :
+  t ->
+  ?pid:int ->
+  ?uid:int ->
+  ?retry_policy:Lab_runtime.Client.retry_policy ->
+  thread:int ->
+  unit ->
+  Lab_runtime.Client.t
 (** Connects a client; must run inside a simulated process (e.g. within
     {!go}). Fresh pids are assigned when omitted. *)
 

@@ -133,6 +133,7 @@ type arc_state = {
   write_through : bool;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable writeback_failures : int;
 }
 
 type Labmod.state += State of arc_state
@@ -142,6 +143,9 @@ let name = "arc_cache"
 let hits m = match m.Labmod.state with State s -> s.hit_count | _ -> 0
 
 let misses m = match m.Labmod.state with State s -> s.miss_count | _ -> 0
+
+let writeback_failures m =
+  match m.Labmod.state with State s -> s.writeback_failures | _ -> 0
 
 let p_target m = match m.Labmod.state with State s -> Arc.p s.arc | _ -> 0
 
@@ -174,6 +178,9 @@ let operate m ctx req =
                       b_sync = false;
                     };
               }
+              (fun r ->
+                if not (Request.is_ok r) then
+                  s.writeback_failures <- s.writeback_failures + 1)
         | Some page -> Hashtbl.remove s.dirty page
         | None -> ()
       in
@@ -206,13 +213,17 @@ let operate m ctx req =
           else begin
             s.miss_count <- s.miss_count + 1;
             let result = ctx.Labmod.forward req in
-            Machine.compute machine ~thread:ctx.Labmod.thread
-              ((costs.Costs.cache_insert_ns *. npages) +. copy);
-            List.iter
-              (fun page ->
-                ignore (Arc.touch s.arc page);
-                writeback_evicted ())
-              pages;
+            (* Never admit pages whose fill failed (injected fault): the
+               read produced no data worth caching. *)
+            if Request.is_ok result then begin
+              Machine.compute machine ~thread:ctx.Labmod.thread
+                ((costs.Costs.cache_insert_ns *. npages) +. copy);
+              List.iter
+                (fun page ->
+                  ignore (Arc.touch s.arc page);
+                  writeback_evicted ())
+                pages
+            end;
             result
           end)
   | _ -> Request.Failed "arc_cache: expects block requests"
@@ -243,6 +254,7 @@ let factory : Registry.factory =
            write_through;
            hit_count = 0;
            miss_count = 0;
+           writeback_failures = 0;
          })
     {
       Labmod.operate;

@@ -23,6 +23,11 @@ val hits : Labmod.t -> int
 
 val misses : Labmod.t -> int
 
+val writeback_failures : Labmod.t -> int
+(** Asynchronous dirty-page writebacks that completed with a failure.
+    As with [lru_cache], a read miss whose downstream fill fails is
+    never admitted into the cache. *)
+
 val p_target : Labmod.t -> int
 (** Current adaptive target for the recency side, in pages. *)
 

@@ -37,7 +37,13 @@ let operate m ctx req =
   | State { inflight_bytes } ->
       Machine.compute ctx.Labmod.machine ~thread:ctx.Labmod.thread decision_cost_ns;
       let bytes = Stdlib.float_of_int (Request.bytes_of req) in
-      let q = pick inflight_bytes (Request.bytes_of req) in
+      (* Honour a pre-set hint (degraded-mode requeue away from an
+         offline queue); otherwise steer least-loaded as usual. *)
+      let q =
+        match req.Request.hint_hctx with
+        | Some h -> h mod Array.length inflight_bytes
+        | None -> pick inflight_bytes (Request.bytes_of req)
+      in
       req.Request.hint_hctx <- Some q;
       inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
       let result = ctx.Labmod.forward req in

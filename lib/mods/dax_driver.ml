@@ -18,11 +18,14 @@ let operate m ctx req =
   | State { device }, Request.Block { b_kind; b_lba; b_bytes; _ } ->
       let machine = ctx.Labmod.machine in
       let hctx = ctx.Labmod.thread mod Device.n_hw_queues device in
-      ignore
-        (Device.submit_wait device ~hctx ~kind:(Mod_util.device_kind b_kind)
-           ~lba:b_lba ~bytes:b_bytes);
+      let outcome =
+        Device.submit_wait_result device ~hctx
+          ~kind:(Mod_util.device_kind b_kind) ~lba:b_lba ~bytes:b_bytes
+      in
       Machine.compute machine ~thread:ctx.Labmod.thread fence_cost_ns;
-      Request.Size b_bytes
+      (match outcome with
+      | Ok _ -> Request.Size b_bytes
+      | Error e -> Mod_util.device_error name e)
   | _ -> Request.Failed "dax: expects block requests"
 
 let est m req =

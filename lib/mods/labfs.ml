@@ -24,6 +24,8 @@ type fs_state = {
   mutable log_lba : int;
   block_size : int;
   nworkers : int;
+  mutable commit_failures : int;
+      (* journal commits that failed at the device and were aborted *)
 }
 
 type Labmod.state += State of fs_state
@@ -58,6 +60,8 @@ let inodes_of m =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) (state_of m).inodes []
 
 let file_count m = Hashtbl.length (state_of m).inodes
+
+let commit_failures m = (state_of m).commit_failures
 
 let lookup m path = Hashtbl.find_opt (state_of m).inodes path
 
@@ -123,6 +127,26 @@ let replay records =
     records;
   inodes
 
+(* A journal commit failed at the device: the records it carried were
+   never persisted, so they must not stay in the log (replay after a
+   crash would disagree with what stable storage holds). Drop exactly
+   those records — [newer] records appended after the failed flush stay,
+   the [count] flushed ones go — then rebuild the inode table from the
+   surviving log, reusing the recovery machinery. *)
+let abort_uncommitted s ~newer ~count =
+  let rec drop i acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+        if i >= newer && i < newer + count then drop (i + 1) acc rest
+        else drop (i + 1) (r :: acc) rest
+  in
+  s.log <- drop 0 [] s.log;
+  s.log_len <- Stdlib.max 0 (s.log_len - count);
+  s.commit_failures <- s.commit_failures + 1;
+  let rebuilt = replay (List.rev s.log) in
+  Hashtbl.reset s.inodes;
+  Hashtbl.iter (fun k v -> Hashtbl.replace s.inodes k v) rebuilt
+
 (* Append a metadata record; flush a full log page downstream (group
    commit — the flush cost is amortized over threshold/record_bytes
    operations). *)
@@ -150,7 +174,11 @@ let append s ctx record =
         Request.hop = "";
       }
     in
-    ctx.Labmod.forward_async flush_req
+    let mark_len = s.log_len in
+    let count = bytes / record_bytes in
+    ctx.Labmod.forward_async flush_req (fun r ->
+        if not (Request.is_ok r) then
+          abort_uncommitted s ~newer:(s.log_len - mark_len) ~count)
   end
 
 let charge ctx ns = Machine.compute ctx.Labmod.machine ~thread:ctx.Labmod.thread ns
@@ -246,9 +274,19 @@ let do_fsync s ctx req =
             { Request.b_kind = Request.Write; b_lba = lba; b_bytes = bytes; b_sync = true };
       }
     in
-    ignore (ctx.Labmod.forward io)
-  end;
-  Request.Done
+    let mark_len = s.log_len in
+    let result = ctx.Labmod.forward io in
+    if Request.is_ok result then Request.Done
+    else begin
+      (* The commit never reached stable storage: abort the records it
+         carried and surface the failure to the caller. [forward] may
+         have yielded, so account for records appended meanwhile. *)
+      abort_uncommitted s ~newer:(s.log_len - mark_len)
+        ~count:(bytes / record_bytes);
+      result
+    end
+  end
+  else Request.Done
 
 let do_unlink s ctx path =
   charge ctx unlink_cpu_ns;
@@ -326,6 +364,7 @@ let factory ~total_blocks ~nworkers ?(block_size = 4096) () : Registry.factory =
         log_lba = 0;
         block_size;
         nworkers = Stdlib.max 1 nworkers;
+        commit_failures = 0;
       }
   in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Filesystem ~state

@@ -43,6 +43,13 @@ val replay : log_record list -> (string, inode) Hashtbl.t
 
 val file_count : Labmod.t -> int
 
+val commit_failures : Labmod.t -> int
+(** Journal commits (group-commit flushes and fsync flushes) that failed
+    at the device. Each failure aborts exactly the records the failed
+    flush carried — they are dropped from the log and the inode table is
+    rebuilt from the surviving records via {!replay}, so the live table
+    keeps agreeing with what stable storage would replay to. *)
+
 val lookup : Labmod.t -> string -> inode option
 
 val allocator : Labmod.t -> Block_alloc.t

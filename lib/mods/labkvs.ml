@@ -53,7 +53,7 @@ let log_append s ctx req =
             { Request.b_kind = Request.Write; b_lba = lba; b_bytes = bytes; b_sync = true };
       }
     in
-    ctx.Labmod.forward_async io
+    ctx.Labmod.forward_async io (fun _ -> ())
   end
 
 let operate m ctx req =

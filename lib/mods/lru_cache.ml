@@ -11,6 +11,8 @@ type cache_state = {
   write_through : bool;  (* policy knob: persist writes synchronously *)
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable writeback_failures : int;
+      (* async dirty-page writebacks that came back failed *)
 }
 
 type Labmod.state += State of cache_state
@@ -26,6 +28,9 @@ let hits m =
 
 let misses m =
   match m.Labmod.state with State s -> s.miss_count | _ -> 0
+
+let writeback_failures m =
+  match m.Labmod.state with State s -> s.writeback_failures | _ -> 0
 
 let operate m ctx req =
   match (m.Labmod.state, req.Request.payload) with
@@ -55,7 +60,9 @@ let operate m ctx req =
                     };
               }
             in
-            ctx.Labmod.forward_async io
+            ctx.Labmod.forward_async io (fun r ->
+                if not (Request.is_ok r) then
+                  s.writeback_failures <- s.writeback_failures + 1)
         | _ -> ()
       in
       match b_kind with
@@ -65,8 +72,18 @@ let operate m ctx req =
             Machine.compute machine ~thread:ctx.Labmod.thread
               (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
               +. copy);
-            List.iter (fun p -> ignore (Lru.put s.pages p (ref false))) pages;
-            ctx.Labmod.forward req
+            List.iter (fun p -> writeback (Lru.put s.pages p (ref false))) pages;
+            let result = ctx.Labmod.forward req in
+            (* Device fault: the cache copy is now the only good copy;
+               mark it dirty so eviction retries the persist. *)
+            if not (Request.is_ok result) then
+              List.iter
+                (fun p ->
+                  match Lru.find s.pages p with
+                  | Some dirty -> dirty := true
+                  | None -> ())
+                pages;
+            result
           end
           else begin
             (* Write-back cache: the data is absorbed here and reaches
@@ -96,14 +113,20 @@ let operate m ctx req =
           else begin
             s.miss_count <- s.miss_count + 1;
             let result = ctx.Labmod.forward req in
-            Machine.compute machine ~thread:ctx.Labmod.thread
-              (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
-              +. copy);
-            List.iter
-              (fun p ->
-                if not (Lru.mem s.pages p) then
-                  writeback (Lru.put s.pages p (ref false)))
-              pages;
+            (* Never admit a page whose fill failed: a faulted read left
+               no data to cache, and admitting it would serve garbage on
+               the next (hit) access. *)
+            if Request.is_ok result then begin
+              Machine.compute machine ~thread:ctx.Labmod.thread
+                (costs.Costs.cache_insert_ns
+                 *. Stdlib.float_of_int (List.length pages)
+                +. copy);
+              List.iter
+                (fun p ->
+                  if not (Lru.mem s.pages p) then
+                    writeback (Lru.put s.pages p (ref false)))
+                pages
+            end;
             result
           end)
   | _ -> Request.Failed "lru_cache: expects block requests"
@@ -133,6 +156,7 @@ let factory : Registry.factory =
            write_through;
            hit_count = 0;
            miss_count = 0;
+           writeback_failures = 0;
          })
     {
       Labmod.operate;

@@ -18,3 +18,9 @@ val factory : Registry.factory
 val hits : Labmod.t -> int
 
 val misses : Labmod.t -> int
+
+val writeback_failures : Labmod.t -> int
+(** Asynchronous dirty-page writebacks that completed with a failure
+    (e.g. an injected device fault). Read misses whose fill fails are
+    never admitted into the cache; write-through writes that fail leave
+    their pages dirty so eviction retries the persist. *)

@@ -19,6 +19,32 @@ let await_completion submit =
       match !resumer with Some r -> r () | None -> ());
   if not !completed then Engine.suspend (fun r -> resumer := Some r)
 
+(* Like [await_completion] but the callback carries a value (e.g. a
+   device outcome) which becomes the return value. *)
+let await_value submit =
+  let result = ref None in
+  let resumer = ref None in
+  submit (fun v ->
+      result := Some v;
+      match !resumer with Some r -> r () | None -> ());
+  (match !result with
+  | Some _ -> ()
+  | None -> Engine.suspend (fun r -> resumer := Some r));
+  match !result with Some v -> v | None -> assert false
+
+(* Map a device fault to the errno-tagged failure convention clients
+   understand (Request.is_transient_failure etc.). *)
+let device_error name e =
+  let errno =
+    match e with
+    | Lab_device.Device.E_io -> "EIO"
+    | Lab_device.Device.E_offline -> "EOFFLINE"
+    | Lab_device.Device.E_timeout -> "ETIMEDOUT"
+    | Lab_device.Device.E_torn _ -> "ETORN"
+  in
+  Request.failed_errno errno
+    (name ^ ": " ^ Lab_device.Device.error_to_string e)
+
 let identity_state : Labmod.state -> Labmod.state = fun s -> s
 
 let no_repair (_ : Labmod.t) = ()

@@ -10,6 +10,15 @@ val await_completion : ((unit -> unit) -> unit) -> unit
     [submit] must call the callback exactly once (possibly before
     returning). *)
 
+val await_value : (('a -> unit) -> unit) -> 'a
+(** Like {!await_completion} but returns the value passed to the
+    callback (e.g. a device [(completion, error) result]). *)
+
+val device_error : string -> Lab_device.Device.error -> Request.result
+(** [device_error mod_name e] renders a device fault as the errno-tagged
+    [Request.Failed] form ([EIO]/[EOFFLINE]/[ETIMEDOUT]/[ETORN]) that
+    {!Request.is_transient_failure} and client retry policy recognise. *)
+
 val identity_state : Labmod.state -> Labmod.state
 (** The common [state_update]: carry the old state over unchanged. *)
 

@@ -14,7 +14,11 @@ let operate m ctx req =
   match m.Labmod.state with
   | State { nqueues } ->
       Machine.compute ctx.Labmod.machine ~thread:ctx.Labmod.thread keying_cost_ns;
-      req.Request.hint_hctx <- Some (req.Request.thread mod nqueues);
+      (* An existing hint wins: the client's degraded-mode requeue (an
+         offline queue was avoided on purpose) must not be undone. *)
+      (match req.Request.hint_hctx with
+      | None -> req.Request.hint_hctx <- Some (req.Request.thread mod nqueues)
+      | Some _ -> ());
       ctx.Labmod.forward req
   | _ -> Request.Failed "noop_sched: bad state"
 

@@ -24,11 +24,16 @@ let operate m ctx req =
         | Some h -> h mod nq
         | None -> ctx.Labmod.thread mod nq
       in
-      Mod_util.await_completion (fun done_ ->
-          Device.submit device ~hctx ~kind:(Mod_util.device_kind b_kind)
-            ~lba:b_lba ~bytes:b_bytes ~on_complete:(fun _ -> done_ ()));
+      let outcome =
+        Mod_util.await_value (fun done_ ->
+            Device.submit_result device ~hctx
+              ~kind:(Mod_util.device_kind b_kind) ~lba:b_lba ~bytes:b_bytes
+              ~on_complete:done_)
+      in
       Engine.wait machine.Machine.costs.Costs.poll_spin_ns;
-      Request.Size b_bytes
+      (match outcome with
+      | Ok _ -> Request.Size b_bytes
+      | Error e -> Mod_util.device_error name e)
   | _ -> Request.Failed "spdk: expects block requests"
 
 let est m req =

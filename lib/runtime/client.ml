@@ -4,6 +4,34 @@ open Lab_core
 
 exception Runtime_gone
 
+(* Client-side fault policy: how hard to try before surfacing a
+   transient device failure to the application. *)
+type retry_policy = {
+  max_retries : int;
+  base_backoff_ns : float;
+  backoff_multiplier : float;
+  max_backoff_ns : float;
+  jitter : float;
+  deadline_ns : float;
+}
+
+let default_retry_policy =
+  {
+    max_retries = 3;
+    base_backoff_ns = 50_000.0;
+    backoff_multiplier = 2.0;
+    max_backoff_ns = 5e6;
+    jitter = 0.25;
+    deadline_ns = infinity;
+  }
+
+type fault_counters = {
+  fc_retries : Stats.Counter.c;
+  fc_requeues : Stats.Counter.c;
+  fc_deadline_misses : Stats.Counter.c;
+  fc_exhausted : Stats.Counter.c;
+}
+
 type t = {
   runtime : Runtime.t;
   mutable conn : Ipc_manager.connection;
@@ -15,6 +43,9 @@ type t = {
   mutable next_fd : int;
   mutable epoch : int;
   recovery_timeout_ns : float;
+  policy : retry_policy;
+  rng : Rng.t;  (* backoff jitter; independent of every other stream *)
+  counters : fault_counters;
 }
 
 let pid t = t.c_pid
@@ -29,7 +60,8 @@ let costs t = (machine t).Machine.costs
 
 let charge t ns = Machine.compute (machine t) ~thread:t.c_thread ns
 
-let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10) () =
+let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10)
+    ?(retry_policy = default_retry_policy) () =
   let conn = Ipc_manager.connect (Runtime.ipc runtime) ~pid ~uid in
   {
     runtime;
@@ -42,7 +74,32 @@ let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10) () =
     next_fd = 3;
     epoch = Module_manager.epoch (Runtime.module_manager runtime);
     recovery_timeout_ns;
+    policy = retry_policy;
+    rng = Rng.create (0x9E3779 lxor (pid * 65599) lxor (thread * 31));
+    counters =
+      {
+        fc_retries = Stats.Counter.create ();
+        fc_requeues = Stats.Counter.create ();
+        fc_deadline_misses = Stats.Counter.create ();
+        fc_exhausted = Stats.Counter.create ();
+      };
   }
+
+let retries t = Stats.Counter.value t.counters.fc_retries
+
+let requeues t = Stats.Counter.value t.counters.fc_requeues
+
+let deadline_misses t = Stats.Counter.value t.counters.fc_deadline_misses
+
+let exhausted_retries t = Stats.Counter.value t.counters.fc_exhausted
+
+let fault_counter_list t =
+  [
+    ("retries", retries t);
+    ("requeues", requeues t);
+    ("deadline_misses", deadline_misses t);
+    ("exhausted", exhausted_retries t);
+  ]
 
 let disconnect t = Ipc_manager.disconnect (Runtime.ipc t.runtime) t.conn
 
@@ -89,13 +146,20 @@ let run_state_repair t =
         (Stack.mods stack (Runtime.registry t.runtime)))
     (Namespace.stacks (Runtime.namespace t.runtime))
 
-let rec await_completion_or_crash t qp =
+(* Wait for OUR completion. Completions for other request ids are stale
+   leftovers of attempts this client abandoned on a deadline miss —
+   discard them. A finite deadline is enforced by a watchdog process
+   (spawned by the dispatcher) that flushes the queue's waiters at the
+   deadline so we wake up and notice. *)
+let rec await_completion_or_crash t qp ~req_id ~deadline_abs =
   match Qp.try_completion qp with
-  | Some req -> Ok req
+  | Some req when req.Request.id = req_id -> Ok req
+  | Some _stale -> await_completion_or_crash t qp ~req_id ~deadline_abs
   | None ->
-      if Ipc_manager.online (Runtime.ipc t.runtime) then begin
+      if Machine.now (machine t) >= deadline_abs then Error `Deadline
+      else if Ipc_manager.online (Runtime.ipc t.runtime) then begin
         Qp.wait_completion_event qp;
-        await_completion_or_crash t qp
+        await_completion_or_crash t qp ~req_id ~deadline_abs
       end
       else Error `Crashed
 
@@ -111,10 +175,9 @@ let recover t =
   then raise Runtime_gone;
   run_state_repair t
 
-(* Submit a request to a stack and wait for its result, transparently
-   handling Runtime crashes (resubmitting after repair) and exec-mode
-   differences. *)
-let rec do_request t (stack : Stack.t) payload =
+(* One dispatch of one attempt, transparently handling Runtime crashes
+   (resubmitting after repair) and exec-mode differences. *)
+let rec dispatch_once t (stack : Stack.t) payload ~hint ~deadline_abs =
   apply_decentralized_upgrades t;
   let req =
     Request.make
@@ -123,6 +186,7 @@ let rec do_request t (stack : Stack.t) payload =
       ~now:(Machine.now (machine t))
       payload
   in
+  req.Request.hint_hctx <- hint;
   match stack.Stack.exec_mode with
   | Stack_spec.Sync ->
       (* The whole DAG runs in the client thread: no IPC, no central
@@ -134,22 +198,90 @@ let rec do_request t (stack : Stack.t) payload =
   | Stack_spec.Async ->
       if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
         recover t;
-        do_request t stack payload
+        dispatch_once t stack payload ~hint ~deadline_abs
       end
       else begin
         let qp = qp_for_stack t stack in
         charge t (costs t).Costs.shmem_enqueue_ns;
         Qp.submit qp req;
-        match await_completion_or_crash t qp with
+        (* Deadline watchdog: wake the completion waiters at the
+           deadline so a lost command cannot park us forever. *)
+        let settled = ref false in
+        if Float.is_finite deadline_abs then begin
+          let m = machine t in
+          Engine.spawn m.Machine.engine (fun () ->
+              let delay = deadline_abs -. Machine.now m in
+              if delay > 0.0 then Engine.wait delay;
+              if not !settled then Qp.wake_all_waiters qp)
+        end;
+        let outcome =
+          await_completion_or_crash t qp ~req_id:req.Request.id ~deadline_abs
+        in
+        settled := true;
+        match outcome with
         | Ok done_req ->
             (* Pull the completion cache line back to our core. *)
             charge t (costs t).Costs.shmem_cross_core_ns;
             Option.value done_req.Request.result
               ~default:(Request.Failed "no result recorded")
+        | Error `Deadline ->
+            Stats.Counter.incr t.counters.fc_deadline_misses;
+            Request.failed_errno "ETIMEDOUT"
+              (Printf.sprintf "request %d missed its %.0fns deadline"
+                 req.Request.id t.policy.deadline_ns)
         | Error `Crashed ->
             recover t;
-            do_request t stack payload
+            dispatch_once t stack payload ~hint ~deadline_abs
       end
+
+(* Submit a request and apply the client-side fault policy: bounded
+   retries with exponential backoff + jitter on transient failures,
+   degraded-mode requeueing to another hardware queue on EOFFLINE, and
+   a per-request deadline covering all attempts. *)
+let do_request t (stack : Stack.t) payload =
+  let p = t.policy in
+  let deadline_abs =
+    if Float.is_finite p.deadline_ns then
+      Machine.now (machine t) +. p.deadline_ns
+    else infinity
+  in
+  let backoff_ns attempt =
+    let b =
+      p.base_backoff_ns *. (p.backoff_multiplier ** Stdlib.float_of_int attempt)
+    in
+    let b = Float.min b p.max_backoff_ns in
+    let j = p.jitter *. b in
+    if j > 0.0 then b -. j +. Rng.float t.rng (2.0 *. j) else b
+  in
+  let rec attempt n ~hint =
+    let result = dispatch_once t stack payload ~hint ~deadline_abs in
+    if not (Request.is_transient_failure result) then result
+    else if n >= p.max_retries then begin
+      Stats.Counter.incr t.counters.fc_exhausted;
+      result
+    end
+    else begin
+      Stats.Counter.incr t.counters.fc_retries;
+      (* Degraded mode: an offline queue stays offline for a while, so
+         steer the retry to a different hardware queue instead of
+         hammering the dead one. *)
+      let hint =
+        if Request.errno_of_result result = Some "EOFFLINE" then begin
+          Stats.Counter.incr t.counters.fc_requeues;
+          Some (t.c_thread + n + 1)
+        end
+        else hint
+      in
+      Engine.wait (backoff_ns n);
+      if Machine.now (machine t) >= deadline_abs then begin
+        Stats.Counter.incr t.counters.fc_deadline_misses;
+        Request.failed_errno "ETIMEDOUT"
+          "deadline exhausted during retry backoff"
+      end
+      else attempt (n + 1) ~hint
+    end
+  in
+  attempt 0 ~hint:None
 
 let resolve t target =
   match Namespace.resolve (Runtime.namespace t.runtime) target with
@@ -263,7 +395,7 @@ let control t ~mount payload =
 let fork t ~new_pid ~new_thread =
   let child =
     connect t.runtime ~pid:new_pid ~uid:t.uid ~thread:new_thread
-      ~recovery_timeout_ns:t.recovery_timeout_ns ()
+      ~recovery_timeout_ns:t.recovery_timeout_ns ~retry_policy:t.policy ()
   in
   (* One IPC round trip per fd table copy. *)
   charge t

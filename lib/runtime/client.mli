@@ -15,12 +15,51 @@
 type t
 
 exception Runtime_gone
-(** Raised when the Runtime stayed offline past the recovery timeout. *)
+(** Raised when the Runtime stayed offline past the client's
+    [recovery_timeout_ns]. Crash recovery works as follows: a client
+    that finds the Runtime offline parks until it restarts, runs
+    StateRepair on every mounted LabMod and resubmits; if the Runtime
+    is still offline after [recovery_timeout_ns] of waiting — it never
+    restarted — the request cannot be served by anyone and this
+    exception escapes to the application. *)
+
+(** {2 Fault policy} *)
+
+type retry_policy = {
+  max_retries : int;  (** additional attempts after the first *)
+  base_backoff_ns : float;  (** wait before the first retry *)
+  backoff_multiplier : float;  (** growth factor per retry *)
+  max_backoff_ns : float;  (** backoff ceiling *)
+  jitter : float;
+      (** each wait is drawn uniformly from [b ± jitter·b] to decorrelate
+          clients retrying in lockstep (seeded, deterministic) *)
+  deadline_ns : float;
+      (** per-request budget covering every attempt and backoff;
+          [infinity] disables it. A miss yields an [ETIMEDOUT] failure
+          and is never retried. *)
+}
+
+val default_retry_policy : retry_policy
+(** 3 retries, 50µs base backoff doubling up to 5ms, 25% jitter, no
+    deadline. *)
 
 val connect :
-  Runtime.t -> pid:int -> uid:int -> thread:int -> ?recovery_timeout_ns:float -> unit -> t
+  Runtime.t ->
+  pid:int ->
+  uid:int ->
+  thread:int ->
+  ?recovery_timeout_ns:float ->
+  ?retry_policy:retry_policy ->
+  unit ->
+  t
 (** Models the UNIX-socket handshake and credential exchange. Must run
-    inside a simulated process. *)
+    inside a simulated process.
+
+    Transient device failures ([EIO], [EOFFLINE], [ETORN] — see
+    {!Lab_core.Request.is_transient_failure}) are retried per
+    [retry_policy] with exponential backoff; an [EOFFLINE] retry is
+    requeued to a different hardware queue (degraded-mode routing).
+    When retries are exhausted the last failure is surfaced. *)
 
 val disconnect : t -> unit
 
@@ -76,6 +115,27 @@ val control : t -> mount:string -> int -> (unit, string) result
 
 val fork : t -> new_pid:int -> new_thread:int -> t
 (** clone/execve support: the child reconnects and the parent's open
-    file descriptors are copied to it. *)
+    file descriptors are copied to it (and it inherits the retry
+    policy). *)
 
 val open_fd_count : t -> int
+
+(** {2 Fault observability} *)
+
+val retries : t -> int
+(** Retry attempts made (one per re-dispatched transient failure). *)
+
+val requeues : t -> int
+(** Retries that were steered to a different hardware queue because the
+    original queue was offline. *)
+
+val deadline_misses : t -> int
+(** Requests abandoned because their deadline passed (waiting on a lost
+    command or during backoff). *)
+
+val exhausted_retries : t -> int
+(** Requests that kept failing transiently after the last allowed
+    retry and were surfaced to the application. *)
+
+val fault_counter_list : t -> (string * int) list
+(** The four counters above as labelled pairs, for reporting. *)

@@ -22,9 +22,9 @@ let run machine ~registry ~stack ~thread ?probe req =
                 child_time := !child_time +. (now () -. t0);
                 result);
             forward_async =
-              (fun r ->
+              (fun r on_result ->
                 Engine.spawn machine.Machine.engine (fun () ->
-                    ignore (forward uuid r)));
+                    on_result (forward uuid r)));
           }
         in
         let t0 = now () in

@@ -43,8 +43,8 @@ let run t ?(thread = 0) payload =
       thread;
       forward;
       forward_async =
-        (fun r ->
-          Engine.spawn t.m.Machine.engine (fun () -> ignore (forward r)));
+        (fun r on_result ->
+          Engine.spawn t.m.Machine.engine (fun () -> on_result (forward r)));
     }
   in
   let result = ref None in

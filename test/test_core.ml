@@ -191,7 +191,7 @@ let dummy_ctx m =
     Labmod.machine = m;
     thread = 0;
     forward = (fun _ -> Request.Done);
-    forward_async = (fun _ -> ());
+    forward_async = (fun _ _ -> ());
   }
 
 let mk_req ?(payload = Request.Control 0) id =

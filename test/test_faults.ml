@@ -1,0 +1,256 @@
+(* Robustness tests: deterministic fault plans, the device error path,
+   client retry/requeue/deadline policy, and LabFS journal-commit
+   aborts. *)
+
+open Lab_sim
+open Labstor
+open Lab_device
+
+let in_sim f =
+  let e = Engine.create () in
+  let result = ref None in
+  Engine.spawn e (fun () -> result := Some (f e));
+  Engine.run e;
+  match !result with Some r -> r | None -> Alcotest.fail "process never finished"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: equal seeds + equal submission sequences give          *)
+(* byte-identical traces.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let busy_rates =
+  { Fault.io_error = 0.3; timeout = 0.2; timeout_delay_ns = 1e5; torn_write = 0.3 }
+
+let drive_plan plan =
+  for i = 0 to 199 do
+    ignore
+      (Fault.decide plan
+         ~now:(Stdlib.float_of_int (i * 1000))
+         ~queue:(i mod 4) ~is_write:(i mod 3 <> 0) ~bytes:4096)
+  done;
+  Fault.trace_to_string plan
+
+let test_trace_determinism () =
+  let mk () = Fault.create ~rates:busy_rates ~seed:0xABCD () in
+  let a = drive_plan (mk ()) and b = drive_plan (mk ()) in
+  Alcotest.(check bool) "trace nonempty" true (String.length a > 0);
+  Alcotest.(check string) "identical seeds, identical traces" a b;
+  let c = drive_plan (Fault.create ~rates:busy_rates ~seed:0xDCBA ()) in
+  Alcotest.(check bool) "different seed, different trace" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Torn writes never persist more bytes than requested.                *)
+(* ------------------------------------------------------------------ *)
+
+let test_torn_write_bound () =
+  (* torn rate 1.0: every write chunk is torn, including each chunk of
+     a multi-command (> 256 KiB) operation. *)
+  let sizes = [ 1; 512; 4096; 65536; 262144; 300_000; 600_000 ] in
+  List.iter
+    (fun bytes ->
+      in_sim (fun e ->
+          let dev = Device.create e Profile.nvme in
+          Device.set_fault_plan dev
+            (Fault.create
+               ~rates:{ Fault.no_rates with Fault.torn_write = 1.0 }
+               ~seed:(7 + bytes) ());
+          (match Device.submit_wait_result dev ~hctx:0 ~kind:Write ~lba:0 ~bytes with
+          | Error (Device.E_torn n) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "torn %d/%d in bounds" n bytes)
+                true
+                (n >= 0 && n < bytes)
+          | Ok _ -> Alcotest.fail "write with torn rate 1.0 reported Ok"
+          | Error e -> Alcotest.fail ("unexpected error " ^ Device.error_to_string e));
+          Alcotest.(check bool) "accounted bytes_written < requested" true
+            (Device.bytes_written dev < bytes);
+          (* Reads are never torn. *)
+          match Device.submit_wait_result dev ~hctx:0 ~kind:Read ~lba:0 ~bytes with
+          | Ok c -> Alcotest.(check int) "read intact" bytes c.Device.c_bytes
+          | Error e -> Alcotest.fail ("read failed: " ^ Device.error_to_string e)))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end platform scenarios.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let blk_spec =
+  {|
+mount: "blk::/dev/t"
+rules:
+  exec_mode: async
+dag:
+  - uuid: sched-1
+    mod: noop_sched
+    outputs: [drv-1]
+  - uuid: drv-1
+    mod: kernel_driver
+|}
+
+let fs_spec =
+  {|
+mount: "fs::/data"
+rules:
+  exec_mode: async
+dag:
+  - uuid: fs-1
+    mod: labfs
+    outputs: [sched-1]
+  - uuid: sched-1
+    mod: noop_sched
+    outputs: [drv-1]
+  - uuid: drv-1
+    mod: kernel_driver
+|}
+
+let test_retry_masks_one_shot_error () =
+  let platform =
+    Platform.boot ~nworkers:2
+      ~fault_script:[ Fault.One_shot { at_ns = 0.0; queue = None; fault = Fault.Io_error } ]
+      ()
+  in
+  (match Platform.mount platform blk_spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Platform.go platform (fun () ->
+      let c = Platform.client platform ~thread:0 () in
+      (match Runtime.Client.write_block c ~mount:"blk::/dev/t" ~lba:0 ~bytes:4096 with
+      | Ok n -> Alcotest.(check int) "write succeeded after retry" 4096 n
+      | Error e -> Alcotest.fail ("write not retried: " ^ e));
+      Alcotest.(check int) "exactly one retry" 1 (Runtime.Client.retries c);
+      Alcotest.(check int) "nothing exhausted" 0 (Runtime.Client.exhausted_retries c))
+
+let test_offline_window_requeues () =
+  (* Queue 0 is offline for the first millisecond; a thread-0 client is
+     steered there by noop_sched, so its first write must be requeued
+     to a surviving queue. *)
+  let platform =
+    Platform.boot ~nworkers:2
+      ~fault_script:
+        [ Fault.Offline { from_ns = 0.0; until_ns = 1e6; queue = Some 0 } ]
+      ()
+  in
+  (match Platform.mount platform blk_spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Platform.go platform (fun () ->
+      let c = Platform.client platform ~thread:0 () in
+      (match Runtime.Client.write_block c ~mount:"blk::/dev/t" ~lba:0 ~bytes:4096 with
+      | Ok n -> Alcotest.(check int) "write survived offline queue" 4096 n
+      | Error e -> Alcotest.fail ("degraded routing failed: " ^ e));
+      Alcotest.(check bool) "requeued at least once" true
+        (Runtime.Client.requeues c >= 1);
+      let plan = Option.get (Platform.fault_plan platform Profile.Nvme) in
+      Alcotest.(check bool) "offline rejection recorded" true
+        (List.assoc "offline_reject" (Fault.injected plan) >= 1))
+
+let test_deadline_miss_on_lost_command () =
+  let platform =
+    Platform.boot ~nworkers:2
+      ~fault_script:
+        [
+          Fault.One_shot
+            { at_ns = 0.0; queue = None; fault = Fault.Transient_timeout infinity };
+        ]
+      ()
+  in
+  (match Platform.mount platform blk_spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Platform.go platform (fun () ->
+      let policy =
+        {
+          Runtime.Client.default_retry_policy with
+          Runtime.Client.max_retries = 0;
+          deadline_ns = 2e6;
+        }
+      in
+      let c = Platform.client platform ~retry_policy:policy ~thread:0 () in
+      (match Runtime.Client.write_block c ~mount:"blk::/dev/t" ~lba:0 ~bytes:4096 with
+      | Ok _ -> Alcotest.fail "lost command reported Ok"
+      | Error msg ->
+          Alcotest.(check bool)
+            ("deadline surfaced as ETIMEDOUT: " ^ msg)
+            true
+            (String.length msg >= 9 && String.sub msg 0 9 = "ETIMEDOUT"));
+      Alcotest.(check int) "one deadline miss" 1 (Runtime.Client.deadline_misses c);
+      (* The client is not wedged: later requests still work. *)
+      match Runtime.Client.write_block c ~mount:"blk::/dev/t" ~lba:8 ~bytes:4096 with
+      | Ok n -> Alcotest.(check int) "client usable after miss" 4096 n
+      | Error e -> Alcotest.fail ("client wedged after deadline miss: " ^ e))
+
+let test_labfs_journal_abort_and_replay () =
+  (* The first device command is the fsync's journal flush (creates
+     stay in the in-memory log below the group-commit threshold); it
+     fails, so the commit must be aborted: the records dropped, the
+     inode table rebuilt from the surviving log. *)
+  let platform =
+    Platform.boot ~nworkers:2
+      ~fault_script:[ Fault.One_shot { at_ns = 0.0; queue = None; fault = Fault.Io_error } ]
+      ()
+  in
+  (match Platform.mount platform fs_spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let rt = Platform.runtime platform in
+  let fs () = Option.get (Core.Registry.find (Runtime.Runtime.registry rt) "fs-1") in
+  Platform.go platform (fun () ->
+      let policy =
+        { Runtime.Client.default_retry_policy with Runtime.Client.max_retries = 0 }
+      in
+      let c = Platform.client platform ~retry_policy:policy ~thread:0 () in
+      List.iter
+        (fun p ->
+          match Runtime.Client.create c ("fs::/data/" ^ p) with
+          | Ok () -> ()
+          | Error e -> Alcotest.fail ("create: " ^ e))
+        [ "a"; "b"; "c" ];
+      Alcotest.(check int) "3 files before failed commit" 3
+        (Mods.Labfs.file_count (fs ()));
+      let fd = Result.get_ok (Runtime.Client.open_file c "fs::/data/a") in
+      (match Runtime.Client.fsync c ~fd with
+      | Ok () -> Alcotest.fail "fsync should fail (injected journal fault)"
+      | Error msg ->
+          Alcotest.(check bool) ("errno-tagged: " ^ msg) true
+            (String.length msg >= 3 && String.sub msg 0 3 = "EIO"));
+      Alcotest.(check int) "commit aborted: no files survive" 0
+        (Mods.Labfs.file_count (fs ()));
+      Alcotest.(check int) "one commit failure" 1
+        (Mods.Labfs.commit_failures (fs ()));
+      (* Subsequent commits succeed and recovery agrees with the log. *)
+      List.iter
+        (fun p -> ignore (Runtime.Client.create c ("fs::/data/" ^ p)))
+        [ "d"; "e" ];
+      let fd2 = Result.get_ok (Runtime.Client.open_file c "fs::/data/d") in
+      (match Runtime.Client.fsync c ~fd:fd2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("clean fsync failed: " ^ e));
+      Alcotest.(check int) "2 files after clean commit" 2
+        (Mods.Labfs.file_count (fs ()));
+      let m = fs () in
+      m.Core.Labmod.ops.Core.Labmod.state_repair m;
+      Alcotest.(check int) "replay preserves the 2 committed files" 2
+        (Mods.Labfs.file_count (fs ()));
+      Alcotest.(check bool) "committed file resolvable after replay" true
+        (Mods.Labfs.lookup (fs ()) "fs::/data/d" <> None))
+
+let () =
+  Alcotest.run "lab_faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+          Alcotest.test_case "torn write bound" `Quick test_torn_write_bound;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "retry masks one-shot EIO" `Quick
+            test_retry_masks_one_shot_error;
+          Alcotest.test_case "offline window requeues" `Quick
+            test_offline_window_requeues;
+          Alcotest.test_case "deadline miss on lost command" `Quick
+            test_deadline_miss_on_lost_command;
+          Alcotest.test_case "labfs journal abort + replay" `Quick
+            test_labfs_journal_abort_and_replay;
+        ] );
+    ]

@@ -145,7 +145,7 @@ let drive m ?(forward = fun _ -> Request.Done) (labmod : Labmod.t) req =
       Labmod.machine = m;
       thread = req.Request.thread;
       forward;
-      forward_async = (fun r -> ignore (forward r));
+      forward_async = (fun r k -> k (forward r));
     }
   in
   labmod.Labmod.ops.Labmod.operate labmod ctx req

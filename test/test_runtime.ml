@@ -280,6 +280,23 @@ let test_crash_timeout_raises () =
       | exception Client.Runtime_gone -> ()
       | _ -> Alcotest.fail "expected Runtime_gone")
 
+(* Runtime_gone is about the client's patience, not the Runtime's fate:
+   a restart that lands after recovery_timeout_ns is indistinguishable
+   (to the waiting request) from no restart at all. *)
+let test_runtime_gone_despite_late_restart () =
+  in_rt (fun m rt _dev ->
+      ignore (ok (Runtime.mount_text rt (fs_stack_spec ())));
+      let c = Client.connect rt ~pid:3 ~uid:1 ~thread:0 ~recovery_timeout_ns:2e6 () in
+      ok (Client.create c "fs::/data/a");
+      Engine.spawn m.Machine.engine (fun () ->
+          Runtime.crash rt;
+          Engine.wait 50e6;  (* restart 50 ms later: 25x the timeout *)
+          Runtime.restart rt);
+      Engine.wait 1000.0;
+      match Client.create c "fs::/data/b" with
+      | exception Client.Runtime_gone -> ()
+      | _ -> Alcotest.fail "expected Runtime_gone despite late restart")
+
 let test_fork_inherits_fds () =
   in_rt (fun _m rt _dev ->
       ignore (ok (Runtime.mount_text rt (fs_stack_spec ())));
@@ -388,6 +405,8 @@ let () =
         [
           Alcotest.test_case "recover and retry" `Quick test_crash_recovery;
           Alcotest.test_case "timeout raises" `Quick test_crash_timeout_raises;
+          Alcotest.test_case "late restart still raises" `Quick
+            test_runtime_gone_despite_late_restart;
         ] );
       ( "process-semantics",
         [ Alcotest.test_case "fork fd inheritance" `Quick test_fork_inherits_fds ] );
