@@ -1,4 +1,4 @@
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-smoke check clean
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 bench:
 	dune exec bench/main.exe all
+
+# Tiny-scale batching sweep (also asserts byte-identical rows across
+# same-seed runs; exits nonzero on divergence).
+bench-smoke:
+	LABSTOR_SMOKE=1 dune exec bench/main.exe -- batching
 
 # Full health check: build + all test suites + fault-injection smoke
 # run (asserts deterministic fault traces). ~CI entry point.

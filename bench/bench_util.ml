@@ -33,4 +33,22 @@ let pct base v = Printf.sprintf "%+.0f%%" (100.0 *. (v -. base) /. base)
 
 let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
 
+(* Wall-clock self-measurement of the simulator. Off by default —
+   wall-clock numbers vary run to run, and the default experiment
+   output must stay byte-identical for the determinism checks — so the
+   rate is only printed when LABSTOR_WALLCLOCK is set. *)
+let wallclock_enabled () = Sys.getenv_opt "LABSTOR_WALLCLOCK" <> None
+
+let time_events f =
+  let t0 = Sys.time () in
+  let events = f () in
+  (events, Sys.time () -. t0)
+
+let note_event_rate ~events ~wall_s =
+  if wallclock_enabled () then
+    if wall_s > 0.0 then
+      note "simulator: %d events in %.2fs cpu (%.0fk events/sec)" events wall_s
+        (Stdlib.float_of_int events /. wall_s /. 1000.0)
+    else note "simulator: %d events (too fast to time)" events
+
 let _ = row_format

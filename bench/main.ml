@@ -23,6 +23,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "faults",
       "Robustness: fault injection, retry & degraded mode",
       Exp_faults.run );
+    ( "batching",
+      "Batched submission: doorbells, batch dequeue, merging",
+      Exp_batching.run );
   ]
 
 let usage () =

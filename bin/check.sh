@@ -15,4 +15,7 @@ dune runtest
 echo "== fault-injection smoke (LABSTOR_SMOKE=1) =="
 LABSTOR_SMOKE=1 dune exec bench/main.exe -- faults
 
+echo "== batching smoke (LABSTOR_SMOKE=1) =="
+LABSTOR_SMOKE=1 dune exec bench/main.exe -- batching
+
 echo "check: OK"

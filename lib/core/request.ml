@@ -71,6 +71,22 @@ let bytes_of t =
   | Block { b_bytes; _ } -> b_bytes
   | Posix _ | Kv _ | Control _ -> 0
 
+let block_of t = match t.payload with Block b -> Some b | _ -> None
+
+(* LBAs address 512-byte sectors (the device profiles' block size);
+   [block_end_lba] is the first sector past the transfer. *)
+let sector_bytes = 512
+
+let block_end_lba b = b.b_lba + ((b.b_bytes + sector_bytes - 1) / sector_bytes)
+
+(* Two block ops are mergeable when the second starts exactly where the
+   first ends, moves the same direction, and neither demands
+   force-unit-access ordering (sync writes must hit the device as
+   issued). *)
+let blocks_adjacent a b =
+  a.b_kind = b.b_kind && (not a.b_sync) && (not b.b_sync)
+  && b.b_lba = block_end_lba a
+
 let is_ok = function Done | Fd _ | Size _ -> true | Denied _ | Failed _ -> false
 
 (* Errno-style failures: device faults surface as [Failed "ECODE: ..."]
@@ -98,6 +114,22 @@ let is_transient_failure r =
   match errno_of_result r with
   | Some ("EIO" | "EOFFLINE" | "ETORN") -> true
   | Some _ | None -> false
+
+(* A torn-write failure message carries "(<n> persisted)" — the byte
+   count the device actually wrote before tearing (see
+   Lab_device.Device.error_to_string). Splitting a merged request back
+   into its constituents needs that prefix length. *)
+let torn_persisted_of_result r =
+  match (errno_of_result r, r) with
+  | Some "ETORN", Failed msg -> (
+      match String.rindex_opt msg '(' with
+      | None -> None
+      | Some i -> (
+          let rest = String.sub msg (i + 1) (String.length msg - i - 1) in
+          match String.index_opt rest ' ' with
+          | None -> None
+          | Some j -> int_of_string_opt (String.sub rest 0 j)))
+  | _ -> None
 
 let pp_payload fmt = function
   | Posix (Open { path; create }) ->

@@ -70,6 +70,22 @@ val make :
 val bytes_of : t -> int
 (** Payload size in bytes (0 for metadata/control operations). *)
 
+(** {2 Block-request geometry (adjacent-LBA merging)} *)
+
+val sector_bytes : int
+(** Bytes per LBA (512, the device sector size). *)
+
+val block_of : t -> block_op option
+
+val block_end_lba : block_op -> int
+(** First sector past the transfer. *)
+
+val blocks_adjacent : block_op -> block_op -> bool
+(** [blocks_adjacent a b] is true when [b] starts exactly at
+    [block_end_lba a], moves in the same direction, and neither is a
+    force-unit-access write — the condition for coalescing the two into
+    one device operation. *)
+
 val is_ok : result -> bool
 
 val failed_errno : string -> string -> result
@@ -84,6 +100,12 @@ val errno_of_result : result -> string option
 val is_transient_failure : result -> bool
 (** True for [EIO], [EOFFLINE] and [ETORN] failures — the ones a client
     may retry (with requeueing for [EOFFLINE]). [ETIMEDOUT] is final. *)
+
+val torn_persisted_of_result : result -> int option
+(** For an [ETORN] failure, the byte count the device persisted before
+    tearing (parsed from the driver's "(n persisted)" detail); [None]
+    otherwise. Lets a merge point fail only the constituent requests
+    beyond the persisted prefix. *)
 
 val pp_payload : Format.formatter -> payload -> unit
 

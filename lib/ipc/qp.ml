@@ -14,7 +14,12 @@ type 'a t = {
   qp_ordering : ordering;
   mutable qp_mark : mark;
   mutable bells : unit Waitq.t list;
-  cq_waiters : unit Waitq.t;
+  cq_waiters : unit Waitq.t;  (* consumers blocked on an empty CQ *)
+  sq_space : unit Waitq.t;  (* producers blocked on a full SQ *)
+  cq_space : unit Waitq.t;  (* completers blocked on a full CQ *)
+  rings : Stats.Counter.c;
+  sq_stall_count : Stats.Counter.c;
+  cq_stall_count : Stats.Counter.c;
 }
 
 let create ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
@@ -27,6 +32,11 @@ let create ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
     qp_mark = Normal;
     bells = [];
     cq_waiters = Waitq.create ();
+    sq_space = Waitq.create ();
+    cq_space = Waitq.create ();
+    rings = Stats.Counter.create ();
+    sq_stall_count = Stats.Counter.create ();
+    cq_stall_count = Stats.Counter.create ();
   }
 
 let id t = t.qp_id
@@ -39,9 +49,24 @@ let mark t = t.qp_mark
 
 let set_mark t m = t.qp_mark <- m
 
-let ring_bell t = List.iter (fun w -> ignore (Waitq.wake w ())) t.bells
+let ring_bell t =
+  Stats.Counter.incr t.rings;
+  List.iter (fun w -> ignore (Waitq.wake w ())) t.bells
 
-let backpressure_delay = 200.0
+let doorbell_rings t = Stats.Counter.value t.rings
+
+let sq_stalls t = Stats.Counter.value t.sq_stall_count
+
+let cq_stalls t = Stats.Counter.value t.cq_stall_count
+
+(* Producers park on [sq_space] when the submission ring is full and are
+   woken one-per-slot as the worker pops entries — no timed busy-retry.
+   A woken producer may race another for the freed slot; FIFO park order
+   bounds the re-park chain. *)
+let sq_park t =
+  Stats.Counter.incr t.sq_stall_count;
+  let slot = ref None in
+  Waitq.park t.sq_space slot
 
 let try_submit t v =
   let ok = Ring.try_push t.sq v in
@@ -49,14 +74,34 @@ let try_submit t v =
   ok
 
 let rec submit t v =
-  if not (try_submit t v) then begin
-    Engine.wait backpressure_delay;
+  if Ring.try_push t.sq v then ring_bell t
+  else begin
+    sq_park t;
     submit t v
   end
 
-let try_completion t = Ring.try_pop t.cq
+let submit_n t vs =
+  let rec push = function
+    | [] -> ()
+    | v :: rest ->
+        if Ring.try_push t.sq v then push rest
+        else begin
+          sq_park t;
+          push (v :: rest)
+        end
+  in
+  push vs;
+  (* One coalesced doorbell for the whole batch. *)
+  if vs <> [] then ring_bell t
 
-let await_completion t =
+let try_completion t =
+  match Ring.try_pop t.cq with
+  | Some _ as v ->
+      ignore (Waitq.wake t.cq_space ());
+      v
+  | None -> None
+
+let rec await_completion t =
   match try_completion t with
   | Some v -> v
   | None ->
@@ -64,30 +109,39 @@ let await_completion t =
       Waitq.park t.cq_waiters slot;
       (* A completer placed our entry (or we raced another waiter; keep
          trying — FIFO park order bounds this). *)
-      let rec take () =
-        match try_completion t with
-        | Some v -> v
-        | None ->
-            let slot = ref None in
-            Waitq.park t.cq_waiters slot;
-            take ()
-      in
-      take ()
+      await_completion t
 
 let wait_completion_event t =
   let slot = ref None in
   Waitq.park t.cq_waiters slot
 
-let wake_all_waiters t = ignore (Waitq.wake_all t.cq_waiters ())
+let wake_all_waiters t =
+  ignore (Waitq.wake_all t.cq_waiters ());
+  (* Crash notification must also release processes parked on ring
+     space, or they would sleep through the restart. *)
+  ignore (Waitq.wake_all t.sq_space ());
+  ignore (Waitq.wake_all t.cq_space ())
 
-let poll_sq t = Ring.try_pop t.sq
+let poll_sq t =
+  match Ring.try_pop t.sq with
+  | Some _ as v ->
+      ignore (Waitq.wake t.sq_space ());
+      v
+  | None -> None
+
+let poll_sq_n t n =
+  let vs = Ring.pop_n t.sq n in
+  List.iter (fun _ -> ignore (Waitq.wake t.sq_space ())) vs;
+  vs
 
 let peek_sq t = Ring.peek t.sq
 
 let rec complete t v =
   if Ring.try_push t.cq v then ignore (Waitq.wake t.cq_waiters ())
   else begin
-    Engine.wait backpressure_delay;
+    Stats.Counter.incr t.cq_stall_count;
+    let slot = ref None in
+    Waitq.park t.cq_space slot;
     complete t v
   end
 

@@ -36,9 +36,15 @@ val set_mark : 'a t -> mark -> unit
 (** {2 Client side} *)
 
 val submit : 'a t -> 'a -> unit
-(** Enqueues into the submission ring, retrying with a poll delay under
-    backpressure. Rings the assigned worker's doorbell. Must run inside
-    a simulated process. *)
+(** Enqueues into the submission ring and rings the assigned worker's
+    doorbell. Under backpressure (full ring) the caller parks on the
+    SQ-space wait queue and is woken when the worker pops an entry.
+    Must run inside a simulated process. *)
+
+val submit_n : 'a t -> 'a list -> unit
+(** Batched submit: enqueues every entry in order (parking on SQ space
+    as needed) and rings the doorbell {e once} for the whole batch —
+    the io_uring-style coalesced doorbell. Empty batches do not ring. *)
 
 val try_submit : 'a t -> 'a -> bool
 (** Non-blocking variant; still rings the doorbell on success. *)
@@ -54,12 +60,18 @@ val wait_completion_event : 'a t -> unit
     Lets clients detect Runtime crashes instead of sleeping forever. *)
 
 val wake_all_waiters : 'a t -> unit
-(** Wakes every process blocked on completions (crash notification). *)
+(** Wakes every process blocked on completions or parked on ring space
+    (crash notification). *)
 
 (** {2 Worker side} *)
 
 val poll_sq : 'a t -> 'a option
-(** Non-blocking pop from the submission ring. *)
+(** Non-blocking pop from the submission ring; wakes one producer
+    parked on SQ space. *)
+
+val poll_sq_n : 'a t -> int -> 'a list
+(** Batched pop: up to [n] entries in FIFO order, waking one parked
+    producer per freed slot. *)
 
 val peek_sq : 'a t -> 'a option
 
@@ -73,6 +85,19 @@ val sq_depth : 'a t -> int
 val cq_depth : 'a t -> int
 
 val total_submitted : 'a t -> int
+
+(** {2 Backpressure & doorbell observability} *)
+
+val doorbell_rings : 'a t -> int
+(** Lifetime count of doorbell rings ({!submit}/{!try_submit} ring once
+    per entry; {!submit_n} once per batch) — the numerator of the
+    doorbells-per-request metric. *)
+
+val sq_stalls : 'a t -> int
+(** Times a producer parked on a full submission ring. *)
+
+val cq_stalls : 'a t -> int
+(** Times a completer parked on a full completion ring. *)
 
 val set_doorbell : 'a t -> unit Lab_sim.Waitq.t option -> unit
 (** Attaches the doorbell of the worker assigned to this queue: each

@@ -42,4 +42,23 @@ let try_pop t =
 
 let peek t = if is_empty t then None else t.slots.(t.head land t.mask)
 
+let space t = capacity t - length t
+
+let push_n t vs =
+  let rec go pushed = function
+    | [] -> pushed
+    | v :: rest -> if try_push t v then go (pushed + 1) rest else pushed
+  in
+  go 0 vs
+
+let pop_n t n =
+  let rec go acc k =
+    if k <= 0 then List.rev acc
+    else
+      match try_pop t with
+      | None -> List.rev acc
+      | Some v -> go (v :: acc) (k - 1)
+  in
+  go [] n
+
 let total_pushed t = t.tail

@@ -22,5 +22,15 @@ val try_pop : 'a t -> 'a option
 
 val peek : 'a t -> 'a option
 
+val space : 'a t -> int
+(** Free slots remaining. *)
+
+val push_n : 'a t -> 'a list -> int
+(** Pushes entries in order until the list is exhausted or the ring is
+    full; returns how many were pushed. *)
+
+val pop_n : 'a t -> int -> 'a list
+(** Pops up to [n] entries in FIFO order (fewer if the ring drains). *)
+
 val total_pushed : 'a t -> int
 (** Lifetime count of successful pushes (producer index). *)

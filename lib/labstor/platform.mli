@@ -14,6 +14,7 @@ val boot :
   ?default_device:Lab_device.Profile.kind ->
   ?seed:int ->
   ?workers_busy_poll:bool ->
+  ?worker_batch_size:int ->
   ?fault_rates:Lab_sim.Fault.rates ->
   ?fault_script:Lab_sim.Fault.event list ->
   unit ->
@@ -21,6 +22,8 @@ val boot :
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
     device (plus any others listed). Backends are named after their
     device kind in lowercase ("nvme", "ssd", "hdd", "pmem").
+    [worker_batch_size] (default 1) bounds how many requests a worker
+    drains per queue per cross-core pull; see {!Lab_runtime.Worker}.
 
     If [fault_rates] or [fault_script] is given, every booted device
     gets a deterministic fault plan derived from [seed] (one independent

@@ -2,12 +2,49 @@
    scheduler case study): steers each request to the hardware queue with
    the least outstanding bytes, so small latency-bound requests are not
    stuck behind large transfers on the same queue (head-of-line
-   blocking). *)
+   blocking).
+
+   The scheduler is also the stack's merge point: with a positive
+   [merge_window_ns] it holds the first request of a contiguous run
+   open for that window, absorbs adjacent same-direction requests bound
+   for the same hardware queue, and forwards one merged block op.
+   Completions (and torn-write errors) are split back per-request. *)
 
 open Lab_sim
 open Lab_core
 
-type Labmod.state += State of { inflight_bytes : float array }
+(* One request that joined an open batch behind its leader. [m_off] is
+   its byte offset inside the merged transfer — the torn-write split
+   needs it to decide which members fall inside the persisted prefix. *)
+type member = {
+  m_off : int;
+  m_bytes : int;
+  m_notify : Request.result -> unit;
+}
+
+(* An open batch accumulating followers while its leader sits out the
+   merge window. Members are kept in reverse arrival order. *)
+type batch = {
+  bt_kind : Request.io_kind;
+  mutable bt_end_lba : int;
+  mutable bt_bytes : int;
+  mutable bt_members : member list;
+  mutable bt_open : bool;
+}
+
+type Labmod.state +=
+  | State of {
+      inflight_bytes : float array;
+      merge_window_ns : float;
+      max_merge_bytes : int;
+      max_merge_reqs : int;
+      open_batches : (int, batch list ref) Hashtbl.t;
+          (** per hardware queue, every batch currently holding its
+              merge window open — concurrent contiguous runs each plug
+              independently *)
+      merged_ops : int ref;  (** merged device ops dispatched *)
+      absorbed_reqs : int ref;  (** follower requests absorbed into them *)
+    }
 
 let name = "blkswitch_sched"
 
@@ -32,30 +69,196 @@ let pick inflight bytes =
   done;
   !best
 
+(* Split a merged op's outcome back to one member. Success credits each
+   member its own byte count; a torn write succeeds exactly the members
+   that fit inside the persisted prefix; anything else fails them all. *)
+let member_result merged_result m =
+  match merged_result with
+  | Request.Done | Request.Size _ -> Request.Size m.m_bytes
+  | r -> (
+      match Request.torn_persisted_of_result r with
+      | Some persisted when m.m_off + m.m_bytes <= persisted ->
+          Request.Size m.m_bytes
+      | Some _ | None -> r)
+
+(* Leader path: open a batch on queue [q], sleep through the merge
+   window, then forward one op covering everyone who joined and fan the
+   outcome back out. With no followers this degenerates to forwarding
+   the original request untouched. *)
+let lead ctx ~open_batches ~merged_ops ~absorbed_reqs ~merge_window_ns ~q req b
+    =
+  let batch =
+    {
+      bt_kind = b.Request.b_kind;
+      bt_end_lba = Request.block_end_lba b;
+      bt_bytes = b.Request.b_bytes;
+      bt_members = [];
+      bt_open = true;
+    }
+  in
+  let cell =
+    match Hashtbl.find_opt open_batches q with
+    | Some cell -> cell
+    | None ->
+        let cell = ref [] in
+        Hashtbl.replace open_batches q cell;
+        cell
+  in
+  cell := !cell @ [ batch ];
+  Engine.wait merge_window_ns;
+  batch.bt_open <- false;
+  cell := List.filter (fun b' -> not (b' == batch)) !cell;
+  (match !cell with
+  | [] -> (
+      match Hashtbl.find_opt open_batches q with
+      | Some cell' when cell' == cell -> Hashtbl.remove open_batches q
+      | Some _ | None -> ())
+  | _ :: _ -> ());
+  match List.rev batch.bt_members with
+  | [] -> ctx.Labmod.forward req
+  | followers ->
+      incr merged_ops;
+      absorbed_reqs := !absorbed_reqs + List.length followers;
+      let merged =
+        Request.make ~id:req.Request.id ~pid:req.Request.pid
+          ~uid:req.Request.uid ~thread:req.Request.thread
+          ~stack_id:req.Request.stack_id
+          ~now:(Machine.now ctx.Labmod.machine)
+          (Request.Block
+             {
+               Request.b_kind = b.Request.b_kind;
+               b_lba = b.Request.b_lba;
+               b_bytes = batch.bt_bytes;
+               b_sync = false;
+             })
+      in
+      merged.Request.hint_hctx <- Some q;
+      let merged_result = ctx.Labmod.forward merged in
+      List.iter (fun m -> m.m_notify (member_result merged_result m)) followers;
+      member_result merged_result
+        { m_off = 0; m_bytes = b.Request.b_bytes; m_notify = ignore }
+
+(* Follower path: append to the leader's open batch and park until the
+   leader fans out our share of the merged completion. *)
+let join batch b =
+  let off = batch.bt_bytes in
+  batch.bt_end_lba <- Request.block_end_lba b;
+  batch.bt_bytes <- batch.bt_bytes + b.Request.b_bytes;
+  Mod_util.await_value (fun notify ->
+      batch.bt_members <-
+        { m_off = off; m_bytes = b.Request.b_bytes; m_notify = notify }
+        :: batch.bt_members)
+
 let operate m ctx req =
   match m.Labmod.state with
-  | State { inflight_bytes } ->
+  | State
+      {
+        inflight_bytes;
+        merge_window_ns;
+        max_merge_bytes;
+        max_merge_reqs;
+        open_batches;
+        merged_ops;
+        absorbed_reqs;
+      } ->
       Machine.compute ctx.Labmod.machine ~thread:ctx.Labmod.thread decision_cost_ns;
       let bytes = Stdlib.float_of_int (Request.bytes_of req) in
-      (* Honour a pre-set hint (degraded-mode requeue away from an
-         offline queue); otherwise steer least-loaded as usual. *)
-      let q =
-        match req.Request.hint_hctx with
-        | Some h -> h mod Array.length inflight_bytes
-        | None -> pick inflight_bytes (Request.bytes_of req)
+      (* Plug merge, before any steering: a batch that ends exactly at
+         our LBA absorbs us on whatever queue it already holds —
+         contiguity beats load balance. Requests carrying a degraded-
+         mode requeue hint never join (they were steered away from an
+         offline queue on purpose). Ties (can't happen for distinct
+         end-LBAs, but be safe) break towards the lowest queue so runs
+         stay deterministic. *)
+      let joinable b =
+        if req.Request.hint_hctx <> None then None
+        else
+          Hashtbl.fold
+            (fun q cell acc ->
+              let found =
+                List.find_opt
+                  (fun batch ->
+                    batch.bt_open
+                    && batch.bt_kind = b.Request.b_kind
+                    && b.Request.b_lba = batch.bt_end_lba
+                    && batch.bt_bytes + b.Request.b_bytes <= max_merge_bytes
+                    && List.length batch.bt_members + 2 <= max_merge_reqs)
+                  !cell
+              in
+              match (found, acc) with
+              | None, _ -> acc
+              | Some _, Some (q', _) when q' <= q -> acc
+              | Some batch, _ -> Some (q, batch))
+            open_batches None
       in
-      req.Request.hint_hctx <- Some q;
-      inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
-      let result = ctx.Labmod.forward req in
-      inflight_bytes.(q) <- inflight_bytes.(q) -. bytes;
-      result
+      let mergeable =
+        if merge_window_ns > 0.0 then
+          match Request.block_of req with
+          | Some b when not b.Request.b_sync -> Some b
+          | Some _ | None -> None
+        else None
+      in
+      let finish q result =
+        inflight_bytes.(q) <- inflight_bytes.(q) -. bytes;
+        result
+      in
+      let steer () =
+        (* Honour a pre-set hint (degraded-mode requeue away from an
+           offline queue); otherwise steer least-loaded as usual. *)
+        let q =
+          match req.Request.hint_hctx with
+          | Some h -> h mod Array.length inflight_bytes
+          | None -> pick inflight_bytes (Request.bytes_of req)
+        in
+        req.Request.hint_hctx <- Some q;
+        inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
+        q
+      in
+      (match mergeable with
+      | None ->
+          let q = steer () in
+          finish q (ctx.Labmod.forward req)
+      | Some b -> (
+          match joinable b with
+          | Some (q, batch) ->
+              req.Request.hint_hctx <- Some q;
+              inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
+              finish q (join batch b)
+          | None ->
+              let q = steer () in
+              finish q
+                (lead ctx ~open_batches ~merged_ops ~absorbed_reqs
+                   ~merge_window_ns ~q req b)))
   | _ -> Request.Failed "blkswitch_sched: bad state"
+
+let merged_ops (m : Labmod.t) =
+  match m.Labmod.state with State { merged_ops; _ } -> !merged_ops | _ -> 0
+
+let absorbed_reqs (m : Labmod.t) =
+  match m.Labmod.state with
+  | State { absorbed_reqs; _ } -> !absorbed_reqs
+  | _ -> 0
 
 let factory ~nqueues : Registry.factory =
  fun ~uuid ~attrs ->
-  ignore attrs;
+  let getf key default =
+    Option.value ~default (Option.bind (List.assoc_opt key attrs) Yamlite.get_float)
+  in
+  let geti key default =
+    Option.value ~default (Option.bind (List.assoc_opt key attrs) Yamlite.get_int)
+  in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Scheduler
-    ~state:(State { inflight_bytes = Array.make nqueues 0.0 })
+    ~state:
+      (State
+         {
+           inflight_bytes = Array.make nqueues 0.0;
+           merge_window_ns = getf "merge_window_ns" 0.0;
+           max_merge_bytes = geti "max_merge_bytes" 262144;
+           max_merge_reqs = geti "max_merge_reqs" 64;
+           open_batches = Hashtbl.create 8;
+           merged_ops = ref 0;
+           absorbed_reqs = ref 0;
+         })
     {
       Labmod.operate;
       est_processing_time = (fun _ _ -> decision_cost_ns);

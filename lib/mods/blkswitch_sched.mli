@@ -2,7 +2,18 @@
     the paper's §IV scheduler case study): reserves a fraction of the
     hardware queues for latency-critical (small) requests and steers
     each class to its least-loaded queue, eliminating head-of-line
-    blocking behind bulk transfers. *)
+    blocking behind bulk transfers.
+
+    With a positive [merge_window_ns] attribute the scheduler also
+    merges adjacent requests: the first request of a contiguous run
+    waits out the window collecting same-direction neighbours headed
+    for the same hardware queue, forwards one combined block op, and
+    splits the completion (or torn-write error) back per-request.
+
+    Factory attributes: [merge_window_ns] (float, default 0 = merging
+    off — the classic single-request path), [max_merge_bytes] (int,
+    default 262144, one full device command), [max_merge_reqs] (int,
+    default 64). *)
 
 open Lab_core
 
@@ -10,5 +21,12 @@ val name : string
 
 val lq_threshold_bytes : int
 (** Requests at or below this size are treated as latency critical. *)
+
+val merged_ops : Labmod.t -> int
+(** Merged device ops dispatched so far (batches that absorbed at least
+    one follower). *)
+
+val absorbed_reqs : Labmod.t -> int
+(** Requests absorbed into merged ops as followers (excludes leaders). *)
 
 val factory : nqueues:int -> Registry.factory

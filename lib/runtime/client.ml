@@ -234,27 +234,28 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~deadline_abs =
             dispatch_once t stack payload ~hint ~deadline_abs
       end
 
-(* Submit a request and apply the client-side fault policy: bounded
-   retries with exponential backoff + jitter on transient failures,
-   degraded-mode requeueing to another hardware queue on EOFFLINE, and
-   a per-request deadline covering all attempts. *)
-let do_request t (stack : Stack.t) payload =
+let deadline_of_policy t =
   let p = t.policy in
-  let deadline_abs =
-    if Float.is_finite p.deadline_ns then
-      Machine.now (machine t) +. p.deadline_ns
-    else infinity
+  if Float.is_finite p.deadline_ns then Machine.now (machine t) +. p.deadline_ns
+  else infinity
+
+let backoff_ns t attempt =
+  let p = t.policy in
+  let b =
+    p.base_backoff_ns *. (p.backoff_multiplier ** Stdlib.float_of_int attempt)
   in
-  let backoff_ns attempt =
-    let b =
-      p.base_backoff_ns *. (p.backoff_multiplier ** Stdlib.float_of_int attempt)
-    in
-    let b = Float.min b p.max_backoff_ns in
-    let j = p.jitter *. b in
-    if j > 0.0 then b -. j +. Rng.float t.rng (2.0 *. j) else b
-  in
-  let rec attempt n ~hint =
-    let result = dispatch_once t stack payload ~hint ~deadline_abs in
+  let b = Float.min b p.max_backoff_ns in
+  let j = p.jitter *. b in
+  if j > 0.0 then b -. j +. Rng.float t.rng (2.0 *. j) else b
+
+(* Client-side fault policy, shared by the single-request and batched
+   paths: given the first attempt's result, run bounded retries with
+   exponential backoff + jitter on transient failures, degraded-mode
+   requeueing to another hardware queue on EOFFLINE, all under one
+   per-request deadline. *)
+let retry_transient t (stack : Stack.t) payload ~deadline_abs first =
+  let p = t.policy in
+  let rec next n ~hint result =
     if not (Request.is_transient_failure result) then result
     else if n >= p.max_retries then begin
       Stats.Counter.incr t.counters.fc_exhausted;
@@ -272,16 +273,132 @@ let do_request t (stack : Stack.t) payload =
         end
         else hint
       in
-      Engine.wait (backoff_ns n);
+      Engine.wait (backoff_ns t n);
       if Machine.now (machine t) >= deadline_abs then begin
         Stats.Counter.incr t.counters.fc_deadline_misses;
         Request.failed_errno "ETIMEDOUT"
           "deadline exhausted during retry backoff"
       end
-      else attempt (n + 1) ~hint
+      else next (n + 1) ~hint (dispatch_once t stack payload ~hint ~deadline_abs)
     end
   in
-  attempt 0 ~hint:None
+  next 0 ~hint:None first
+
+(* Submit a request and apply the fault policy to its outcome. *)
+let do_request t (stack : Stack.t) payload =
+  let deadline_abs = deadline_of_policy t in
+  retry_transient t stack payload ~deadline_abs
+    (dispatch_once t stack payload ~hint:None ~deadline_abs)
+
+(* --- Batched submission (io_uring-style multi-submit) --- *)
+
+let make_request t (stack : Stack.t) payload =
+  Request.make
+    ~id:(Runtime.next_request_id t.runtime)
+    ~pid:t.c_pid ~uid:t.uid ~thread:t.c_thread ~stack_id:stack.Stack.id
+    ~now:(Machine.now (machine t))
+    payload
+
+(* Push a whole batch into the stack's submission queue, ringing the
+   worker's doorbell once. Per-entry enqueue work is still charged per
+   request — only the wakeup is amortized. *)
+let submit_batch t (stack : Stack.t) payloads =
+  if not (Ipc_manager.online (Runtime.ipc t.runtime)) then recover t;
+  apply_decentralized_upgrades t;
+  let qp = qp_for_stack t stack in
+  let reqs = List.map (make_request t stack) payloads in
+  charge t
+    ((costs t).Costs.shmem_enqueue_ns
+    *. Stdlib.float_of_int (List.length reqs));
+  Qp.submit_n qp reqs;
+  reqs
+
+(* Reap the whole batch: fill [firsts] for every (request id -> index)
+   in [pending], discarding stale completions, failing what is still
+   outstanding at the deadline, and transparently resubmitting the
+   survivors (as a fresh single-doorbell batch) after a Runtime crash.
+   [payloads] indexes the original payloads for those resubmissions. *)
+let rec reap_rounds t (stack : Stack.t) ~deadline_abs ~payloads ~pending
+    ~firsts =
+  if Hashtbl.length pending > 0 then begin
+    let qp = qp_for_stack t stack in
+    (* One deadline watchdog covers the whole batch. *)
+    let settled = ref false in
+    if Float.is_finite deadline_abs then begin
+      let m = machine t in
+      Engine.spawn m.Machine.engine (fun () ->
+          let delay = deadline_abs -. Machine.now m in
+          if delay > 0.0 then Engine.wait delay;
+          if not !settled then Qp.wake_all_waiters qp)
+    end;
+    let rec reap () =
+      if Hashtbl.length pending = 0 then `Done
+      else
+        match Qp.try_completion qp with
+        | Some req -> (
+            match Hashtbl.find_opt pending req.Request.id with
+            | Some i ->
+                Hashtbl.remove pending req.Request.id;
+                (* Pull the completion cache line back to our core. *)
+                charge t (costs t).Costs.shmem_cross_core_ns;
+                firsts.(i) <-
+                  Some
+                    (Option.value req.Request.result
+                       ~default:(Request.Failed "no result recorded"));
+                reap ()
+            | None -> reap () (* stale: an abandoned attempt's leftovers *))
+        | None ->
+            if Machine.now (machine t) >= deadline_abs then `Deadline
+            else if Ipc_manager.online (Runtime.ipc t.runtime) then begin
+              Qp.wait_completion_event qp;
+              reap ()
+            end
+            else `Crashed
+    in
+    let outcome = reap () in
+    settled := true;
+    match outcome with
+    | `Done -> ()
+    | `Deadline ->
+        Hashtbl.iter
+          (fun _id i ->
+            Stats.Counter.incr t.counters.fc_deadline_misses;
+            firsts.(i) <-
+              Some
+                (Request.failed_errno "ETIMEDOUT"
+                   (Printf.sprintf "batch entry %d missed its %.0fns deadline"
+                      i t.policy.deadline_ns)))
+          pending;
+        Hashtbl.reset pending
+    | `Crashed ->
+        let todo =
+          List.sort compare (Hashtbl.fold (fun _id i acc -> i :: acc) pending [])
+        in
+        Hashtbl.reset pending;
+        recover t;
+        let reqs = submit_batch t stack (List.map (fun i -> payloads.(i)) todo) in
+        List.iter2
+          (fun (r : Request.t) i -> Hashtbl.replace pending r.Request.id i)
+          reqs todo;
+        reap_rounds t stack ~deadline_abs ~payloads ~pending ~firsts
+  end
+
+(* Await the already-submitted [reqs] and return their first-attempt
+   results in submission order. No retry policy is applied here — that
+   is [block_batch]'s job. *)
+let reap_batch t (stack : Stack.t) (reqs : Request.t list) =
+  let deadline_abs = deadline_of_policy t in
+  let payloads =
+    Array.of_list (List.map (fun (r : Request.t) -> r.Request.payload) reqs)
+  in
+  let firsts = Array.make (Array.length payloads) None in
+  let pending = Hashtbl.create (Array.length payloads) in
+  List.iteri (fun i (r : Request.t) -> Hashtbl.replace pending r.Request.id i) reqs;
+  reap_rounds t stack ~deadline_abs ~payloads ~pending ~firsts;
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> Request.Failed "no result recorded")
+       firsts)
 
 let resolve t target =
   match Namespace.resolve (Runtime.namespace t.runtime) target with
@@ -384,6 +501,43 @@ let block_op t ~mount kind ~lba ~bytes =
 let write_block t ~mount ~lba ~bytes = block_op t ~mount Request.Write ~lba ~bytes
 
 let read_block t ~mount ~lba ~bytes = block_op t ~mount Request.Read ~lba ~bytes
+
+type batch_op = { op_kind : Request.io_kind; op_lba : int; op_bytes : int }
+
+(* Batched block I/O: submit every op with one doorbell, reap them all,
+   then apply the per-request fault policy to whatever failed
+   transiently (retries go through the single-request path — by then
+   the batch is broken up anyway). Sync stacks have no submission ring
+   to coalesce, and a 1-element batch is exactly a single request. *)
+let block_batch t ~mount ops =
+  match Namespace.lookup (Runtime.namespace t.runtime) mount with
+  | None -> Error (Printf.sprintf "nothing mounted at %S" mount)
+  | Some stack -> (
+      let payload_of op =
+        Request.Block
+          {
+            Request.b_kind = op.op_kind;
+            b_lba = op.op_lba;
+            b_bytes = op.op_bytes;
+            b_sync = false;
+          }
+      in
+      match (stack.Stack.exec_mode, ops) with
+      | _, [] -> Ok []
+      | Stack_spec.Sync, ops ->
+          Ok (List.map (fun op -> as_size (do_request t stack (payload_of op))) ops)
+      | Stack_spec.Async, [ op ] ->
+          Ok [ as_size (do_request t stack (payload_of op)) ]
+      | Stack_spec.Async, ops ->
+          let deadline_abs = deadline_of_policy t in
+          let payloads = List.map payload_of ops in
+          let reqs = submit_batch t stack payloads in
+          let firsts = reap_batch t stack reqs in
+          Ok
+            (List.map2
+               (fun payload first ->
+                 as_size (retry_transient t stack payload ~deadline_abs first))
+               payloads firsts))
 
 let control t ~mount payload =
   match Namespace.lookup (Runtime.namespace t.runtime) mount with

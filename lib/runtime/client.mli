@@ -106,6 +106,40 @@ val write_block : t -> mount:string -> lba:int -> bytes:int -> (int, string) res
 
 val read_block : t -> mount:string -> lba:int -> bytes:int -> (int, string) result
 
+(** {2 Batched block access}
+
+    io_uring-style multi-submit: a batch of requests is pushed into the
+    stack's submission ring with a {e single} doorbell ring, amortizing
+    the worker wakeup across the batch. Per-entry enqueue time is still
+    charged per request. *)
+
+type batch_op = {
+  op_kind : Lab_core.Request.io_kind;
+  op_lba : int;
+  op_bytes : int;
+}
+
+val block_batch :
+  t -> mount:string -> batch_op list -> ((int, string) result list, string) result
+(** Submits the whole batch with one doorbell, awaits every completion,
+    and applies the client fault policy per request (retries of
+    transient failures go through the single-request path). Results are
+    in submission order. On a sync stack the ops simply run back to
+    back in the client thread. *)
+
+val submit_batch :
+  t -> Lab_core.Stack.t -> Lab_core.Request.payload list -> Lab_core.Request.t list
+(** Lower-level primitive: build and push the requests, ring the
+    doorbell once, return the in-flight requests in submission order.
+    Async stacks only; must run inside a simulated process. *)
+
+val reap_batch : t -> Lab_core.Stack.t -> Lab_core.Request.t list -> Lab_core.Request.result list
+(** Awaits the completions of previously submitted requests (in
+    submission order), discarding stale completions, failing entries
+    still outstanding at the policy deadline with [ETIMEDOUT], and
+    transparently resubmitting survivors after a Runtime crash. No
+    retry policy is applied to the results. *)
+
 (** {2 Control} *)
 
 val control : t -> mount:string -> int -> (unit, string) result

@@ -52,6 +52,8 @@ let of_yaml node =
           getf "worker_spin_us" (d.Runtime.worker_spin_ns /. 1000.0) *. 1000.0;
         worker_core_base = geti "worker_core_base" d.Runtime.worker_core_base;
         workers_busy_poll = getb "busy_poll" d.Runtime.workers_busy_poll;
+        worker_batch_size =
+          geti "worker_batch_size" d.Runtime.worker_batch_size;
       }
 
 let parse text =

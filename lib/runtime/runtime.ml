@@ -10,6 +10,7 @@ type config = {
   worker_spin_ns : float;
   worker_core_base : int;
   workers_busy_poll : bool;
+  worker_batch_size : int;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     worker_spin_ns = 5000.0;
     worker_core_base = 0;
     workers_busy_poll = false;
+    worker_batch_size = 1;
   }
 
 type qstat = {
@@ -146,7 +148,8 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
              in
              Cpu.pin machine.Machine.cpu ~thread ~core;
              Worker.create machine ~id:i ~thread ~exec ~qstat ~qprime
-               ~spin_ns:config.worker_spin_ns ~busy_poll:config.workers_busy_poll ())
+               ~spin_ns:config.worker_spin_ns ~busy_poll:config.workers_busy_poll
+               ~batch_size:config.worker_batch_size ())
        in
        {
          machine;

@@ -12,6 +12,9 @@ type config = {
   worker_core_base : int;  (** workers are pinned to cores starting here *)
   workers_busy_poll : bool;
       (** statically-provisioned workers that poll instead of sleeping *)
+  worker_batch_size : int;
+      (** requests a worker sweep drains per queue per cross-core pull
+          (default 1 = unbatched); see {!Worker.create} *)
 }
 
 val default_config : config

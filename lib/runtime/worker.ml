@@ -18,12 +18,14 @@ type t = {
   qprime : qp_id:int -> Request.t -> unit;
   spin_ns : float;
   busy_poll : bool;
+  batch_size : int;
   mutable inflight : int;
   max_inflight : int;
 }
 
 let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
-    ?(qprime = fun ~qp_id:_ _ -> ()) ?(spin_ns = 5000.0) ?(busy_poll = false) () =
+    ?(qprime = fun ~qp_id:_ _ -> ()) ?(spin_ns = 5000.0) ?(busy_poll = false)
+    ?(batch_size = 1) () =
   {
     w_id = id;
     w_thread = thread;
@@ -40,6 +42,7 @@ let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     qprime;
     spin_ns;
     busy_poll;
+    batch_size = Stdlib.max 1 batch_size;
     inflight = 0;
     max_inflight = 16;
   }
@@ -90,18 +93,18 @@ let costs t = t.machine.Machine.costs
    bursts serialize on the worker's core, but waits (device I/O,
    downstream LabMods) overlap across requests — the paper's
    asynchronous message passing, which is what lets one worker drive a
-   device well beyond 1/latency. [max_inflight] bounds the window. *)
-let process t qp req =
+   device well beyond 1/latency. [max_inflight] bounds the window.
+   [pull_ns] is this request's share of the cross-core cache-line pull,
+   paid serially in the polling loop — the worker cannot dequeue the
+   next request meanwhile, which is what lets a second worker pick it
+   up from a shared (unordered) queue. *)
+let process t qp req ~pull_ns =
   t.inflight <- t.inflight + 1;
   (* Tell the orchestrator what this request is expected to cost before
      we start on it (the EstProcessingTime API): a queue turns
      computational at dispatch, not at first completion. *)
   t.qprime ~qp_id:(Qp.id qp) req;
-  (* Pull the request's cache lines over from the submitting core: paid
-     serially in the polling loop — the worker cannot dequeue the next
-     request meanwhile, which is what lets a second worker pick it up
-     from a shared (unordered) queue. *)
-  Machine.compute t.machine ~thread:t.w_thread (costs t).Costs.shmem_cross_core_ns;
+  Machine.compute t.machine ~thread:t.w_thread pull_ns;
   Engine.spawn t.machine.Machine.engine (fun () ->
       let t0 = Engine.now t.machine.Machine.engine in
       let result = t.exec ~thread:t.w_thread req in
@@ -115,9 +118,14 @@ let process t qp req =
       (* The worker may have parked on a full window; nudge it. *)
       wake t)
 
-(* One pass over the assigned queues. Returns whether any request was
-   dispatched. Upgrade marks are acknowledged here (marked queues are
-   not drained until the Module Manager unmarks them). *)
+(* One pass over the assigned queues: up to [batch_size] requests are
+   drained per queue per pass, so one cross-core pull covers the whole
+   run of adjacent ring slots (the head pays the full transfer, the
+   rest the configured fraction). Fairness is round-robin between
+   queues — a pass never drains one queue dry before visiting the
+   next. Returns whether any request was dispatched. Upgrade marks are
+   acknowledged here (marked queues are not drained until the Module
+   Manager unmarks them). *)
 let sweep t =
   let progress = ref false in
   List.iter
@@ -128,12 +136,21 @@ let sweep t =
           if t.inflight = 0 then Qp.set_mark qp Qp.Update_acked
       | Qp.Update_acked -> ()
       | Qp.Normal ->
-          if t.inflight < t.max_inflight then begin
-            match Qp.poll_sq qp with
-            | Some req ->
-                process t qp req;
-                progress := true
-            | None -> ()
+          let budget = Stdlib.min t.batch_size (t.max_inflight - t.inflight) in
+          if budget > 0 then begin
+            match Qp.poll_sq_n qp budget with
+            | [] -> ()
+            | batch ->
+                progress := true;
+                let c = costs t in
+                List.iteri
+                  (fun i req ->
+                    let pull_ns =
+                      if i = 0 then c.Costs.shmem_cross_core_ns
+                      else c.Costs.shmem_cross_core_ns *. c.Costs.shmem_batch_frac
+                    in
+                    process t qp req ~pull_ns)
+                  batch
           end)
     t.assigned;
   !progress

@@ -19,6 +19,7 @@ val create :
   ?qprime:(qp_id:int -> Lab_core.Request.t -> unit) ->
   ?spin_ns:float ->
   ?busy_poll:bool ->
+  ?batch_size:int ->
   unit ->
   t
 (** [exec] runs a request through its stack. [qstat] reports observed
@@ -26,7 +27,11 @@ val create :
     polling budget before parking (default 5000). With [busy_poll] the
     worker never parks while it has assigned queues — it burns its core
     polling, like a statically-configured worker pool; utilization then
-    reflects wall time. *)
+    reflects wall time. [batch_size] (default 1) is how many requests
+    one sweep may drain from a queue per cross-core pull: the first
+    entry pays the full {!Lab_sim.Costs.shmem_cross_core_ns}, the rest
+    the {!Lab_sim.Costs.shmem_batch_frac} fraction. Queues are visited
+    round-robin, so batching never starves a sibling queue. *)
 
 val id : t -> int
 

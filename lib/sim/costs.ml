@@ -8,6 +8,7 @@ type t = {
   kalloc_ns : float;
   shmem_enqueue_ns : float;
   shmem_cross_core_ns : float;
+  shmem_batch_frac : float;
   poll_spin_ns : float;
   hash_op_ns : float;
   lock_ns : float;
@@ -28,6 +29,7 @@ let default =
     kalloc_ns = 1200.0;
     shmem_enqueue_ns = 120.0;
     shmem_cross_core_ns = 600.0;
+    shmem_batch_frac = 0.25;
     poll_spin_ns = 80.0;
     hash_op_ns = 180.0;
     lock_ns = 60.0;
@@ -38,5 +40,14 @@ let default =
   }
 
 let copy_cost c bytes = c.copy_ns_per_byte *. Stdlib.float_of_int bytes
+
+(* Cross-core pull for a batch of [n] requests from one queue: the
+   first entry pays the full inter-core transfer, the rest land in
+   lines the prefetcher already pulled alongside it. *)
+let cross_core_batch_cost c n =
+  if n <= 0 then 0.0
+  else
+    c.shmem_cross_core_ns
+    *. (1.0 +. (c.shmem_batch_frac *. Stdlib.float_of_int (n - 1)))
 
 let user_copy_cost c bytes = c.user_copy_ns_per_byte *. Stdlib.float_of_int bytes

@@ -16,6 +16,10 @@ type t = {
   shmem_enqueue_ns : float;  (** producer-side shared-memory ring enqueue *)
   shmem_cross_core_ns : float;
       (** extra cost to pull a request cache line on a different core *)
+  shmem_batch_frac : float;
+      (** fraction of [shmem_cross_core_ns] each request after the first
+          pays when a worker pulls a whole batch from one queue (adjacent
+          ring slots ride the same inter-core transfer) *)
   poll_spin_ns : float;  (** one empty polling iteration *)
   hash_op_ns : float;  (** one hashmap operation (inode table, registry) *)
   lock_ns : float;  (** uncontended lock acquire+release *)
@@ -31,3 +35,9 @@ val copy_cost : t -> int -> float
 (** [copy_cost c bytes] is the boundary-copy cost for [bytes]. *)
 
 val user_copy_cost : t -> int -> float
+
+val cross_core_batch_cost : t -> int -> float
+(** [cross_core_batch_cost c n] is the amortized cost of pulling [n]
+    requests from one queue in a single sweep: full
+    [shmem_cross_core_ns] for the first, [shmem_batch_frac] of it for
+    each subsequent entry. Zero for [n <= 0]. *)

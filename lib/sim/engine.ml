@@ -77,28 +77,50 @@ let suspend register =
   let t = engine_of_process () in
   Effect.perform (Suspend (t, register))
 
+let exec_event t k thunk =
+  t.now <- k.time;
+  t.executed <- t.executed + 1;
+  let saved = !current_engine in
+  current_engine := Some t;
+  Fun.protect ~finally:(fun () -> current_engine := saved) thunk
+
 let step t =
   match Heap.pop t.events with
   | None -> false
   | Some (k, thunk) ->
-      t.now <- k.time;
-      t.executed <- t.executed + 1;
-      let saved = !current_engine in
-      current_engine := Some t;
-      Fun.protect ~finally:(fun () -> current_engine := saved) thunk;
+      exec_event t k thunk;
       true
 
+(* The hot loop costs exactly one heap operation per event. With an
+   [until] bound the one event past the horizon is pushed back — keys
+   carry a unique sequence number, so it re-lands in its exact slot —
+   instead of peeking before every pop. *)
 let run ?until t =
-  let limit = match until with None -> Float.infinity | Some u -> u in
-  let continue_run = ref true in
-  while !continue_run do
-    match Heap.peek t.events with
-    | None -> continue_run := false
-    | Some (k, _) when k.time > limit ->
-        t.now <- limit;
-        continue_run := false
-    | Some _ -> ignore (step t)
-  done
+  match until with
+  | None ->
+      let rec drain () =
+        match Heap.pop t.events with
+        | None -> ()
+        | Some (k, thunk) ->
+            exec_event t k thunk;
+            drain ()
+      in
+      drain ()
+  | Some limit ->
+      let rec drain () =
+        match Heap.pop t.events with
+        | None -> ()
+        | Some (k, thunk) ->
+            if k.time > limit then begin
+              t.now <- limit;
+              Heap.push t.events k thunk
+            end
+            else begin
+              exec_event t k thunk;
+              drain ()
+            end
+      in
+      drain ()
 
 let active t = not (Heap.is_empty t.events)
 

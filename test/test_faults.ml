@@ -234,6 +234,109 @@ let test_labfs_journal_abort_and_replay () =
       Alcotest.(check bool) "committed file resolvable after replay" true
         (Mods.Labfs.lookup (fs ()) "fs::/data/d" <> None))
 
+(* ------------------------------------------------------------------ *)
+(* Adjacent-LBA merging: batched contiguous writes fuse into one       *)
+(* device op, yet every original request completes individually.       *)
+(* ------------------------------------------------------------------ *)
+
+let merge_spec =
+  {|
+mount: "blk::/dev/m"
+rules:
+  exec_mode: async
+dag:
+  - uuid: sched-m
+    mod: blkswitch_sched
+    attrs:
+      merge_window_ns: 5000.0
+    outputs: [drv-m]
+  - uuid: drv-m
+    mod: kernel_driver
+|}
+
+let batch_writes ~lba0 n =
+  List.init n (fun i ->
+      {
+        Runtime.Client.op_kind = Core.Request.Write;
+        op_lba = lba0 + (i * 8);
+        op_bytes = 4096;
+      })
+
+let test_merge_completes_individually () =
+  let platform = Platform.boot ~nworkers:2 ~worker_batch_size:4 () in
+  (match Platform.mount platform merge_spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let rt = Platform.runtime platform in
+  let sched () =
+    Option.get (Core.Registry.find (Runtime.Runtime.registry rt) "sched-m")
+  in
+  Platform.go platform (fun () ->
+      let c = Platform.client platform ~thread:0 () in
+      match
+        Runtime.Client.block_batch c ~mount:"blk::/dev/m" (batch_writes ~lba0:0 4)
+      with
+      | Error e -> Alcotest.fail ("batch rejected: " ^ e)
+      | Ok results ->
+          Alcotest.(check int) "four individual completions" 4
+            (List.length results);
+          List.iteri
+            (fun i r ->
+              match r with
+              | Ok n ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "result %d credits own bytes" i)
+                    4096 n
+              | Error e -> Alcotest.fail (Printf.sprintf "result %d: %s" i e))
+            results);
+  let dev = Platform.device platform Profile.Nvme in
+  Alcotest.(check int) "one merged device write" 1 (Device.completed_writes dev);
+  Alcotest.(check int) "all 16 KiB hit the device" 16384
+    (Device.bytes_written dev);
+  Alcotest.(check int) "one merged op dispatched" 1
+    (Mods.Blkswitch_sched.merged_ops (sched ()));
+  Alcotest.(check int) "three followers absorbed" 3
+    (Mods.Blkswitch_sched.absorbed_reqs (sched ()))
+
+let test_merge_torn_chunk_splits_errors () =
+  (* The merged 8 KiB write is the first device command; the one-shot
+     torn fault clamps persistence to the first 4096 bytes. The member
+     inside the persisted prefix succeeds, the one beyond it gets the
+     torn failure — errors cover only the originals they hit. *)
+  let platform =
+    Platform.boot ~nworkers:2 ~worker_batch_size:2
+      ~fault_script:
+        [ Fault.One_shot { at_ns = 0.0; queue = None; fault = Fault.Torn_write 4096 } ]
+      ()
+  in
+  (match Platform.mount platform merge_spec with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Platform.go platform (fun () ->
+      let policy =
+        { Runtime.Client.default_retry_policy with Runtime.Client.max_retries = 0 }
+      in
+      let c = Platform.client platform ~retry_policy:policy ~thread:0 () in
+      match
+        Runtime.Client.block_batch c ~mount:"blk::/dev/m" (batch_writes ~lba0:0 2)
+      with
+      | Error e -> Alcotest.fail ("batch rejected: " ^ e)
+      | Ok [ first; second ] ->
+          (match first with
+          | Ok n -> Alcotest.(check int) "persisted member succeeds" 4096 n
+          | Error e -> Alcotest.fail ("member inside persisted prefix failed: " ^ e));
+          (match second with
+          | Ok _ -> Alcotest.fail "member beyond the tear reported Ok"
+          | Error msg ->
+              Alcotest.(check bool) ("torn member fails with ETORN: " ^ msg) true
+                (String.length msg >= 5 && String.sub msg 0 5 = "ETORN"))
+      | Ok results ->
+          Alcotest.fail
+            (Printf.sprintf "expected 2 results, got %d" (List.length results)));
+  let dev = Platform.device platform Profile.Nvme in
+  Alcotest.(check int) "single merged command carried the fault" 1
+    (Device.completed_errors dev)
+
 let () =
   Alcotest.run "lab_faults"
     [
@@ -252,5 +355,12 @@ let () =
             test_deadline_miss_on_lost_command;
           Alcotest.test_case "labfs journal abort + replay" `Quick
             test_labfs_journal_abort_and_replay;
+        ] );
+      ( "merging",
+        [
+          Alcotest.test_case "merged batch completes individually" `Quick
+            test_merge_completes_individually;
+          Alcotest.test_case "torn chunk fails only covered originals" `Quick
+            test_merge_torn_chunk_splits_errors;
         ] );
     ]

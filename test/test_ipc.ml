@@ -63,6 +63,81 @@ let prop_ring_wraparound =
       drain ();
       List.rev !out = xs)
 
+let test_ring_batch_ops () =
+  let r = Ring.create ~capacity:4 in
+  Alcotest.(check int) "space when empty" 4 (Ring.space r);
+  Alcotest.(check int) "partial push on full ring" 4
+    (Ring.push_n r [ 1; 2; 3; 4; 5; 6 ]);
+  Alcotest.(check int) "no space left" 0 (Ring.space r);
+  Alcotest.(check (list int)) "pop_n beyond length stops at empty"
+    [ 1; 2; 3; 4 ] (Ring.pop_n r 10);
+  Alcotest.(check (list int)) "pop_n on empty" [] (Ring.pop_n r 3);
+  Alcotest.(check int) "push_n all fit" 2 (Ring.push_n r [ 7; 8 ]);
+  Alcotest.(check (list int)) "pop_n exact" [ 7 ] (Ring.pop_n r 1);
+  Alcotest.(check (option int)) "single pop still FIFO" (Some 8)
+    (Ring.try_pop r)
+
+(* Interleaving batch and single-entry operations must preserve FIFO
+   order and the lifetime push count: drive a ring with a random op
+   sequence next to a plain list model. *)
+let prop_ring_batch_fifo =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun xs -> `Push_n xs) (list_of_size Gen.(0 -- 6) small_int);
+          map (fun x -> `Push x) small_int;
+          map (fun n -> `Pop_n n) (int_range 0 6);
+          always `Pop;
+        ])
+  in
+  QCheck.Test.make ~name:"batch/single interleavings keep FIFO + total_pushed"
+    ~count:300
+    QCheck.(pair (int_range 1 16) (list op))
+    (fun (cap, ops) ->
+      let r = Ring.create ~capacity:cap in
+      let model = ref [] (* queued, oldest first *) and pushed = ref 0 in
+      let popped = ref [] and popped_model = ref [] in
+      let push_model xs n =
+        let took = ref 0 in
+        List.iter
+          (fun x ->
+            if !took < n then begin
+              model := !model @ [ x ];
+              incr took
+            end)
+          xs;
+        pushed := !pushed + n
+      in
+      let pop_model () =
+        match !model with
+        | [] -> ()
+        | x :: rest ->
+            model := rest;
+            popped_model := x :: !popped_model
+      in
+      List.iter
+        (function
+          | `Push_n xs -> push_model xs (Ring.push_n r xs)
+          | `Push x -> if Ring.try_push r x then push_model [ x ] 1
+          | `Pop_n n ->
+              let vs = Ring.pop_n r n in
+              popped := List.rev_append vs !popped;
+              List.iter (fun _ -> pop_model ()) vs
+          | `Pop -> (
+              match Ring.try_pop r with
+              | Some v ->
+                  popped := v :: !popped;
+                  pop_model ()
+              | None -> ()))
+        ops;
+      (* Drain what's left; the full pop order must equal everything the
+         model saw queued, oldest first. *)
+      let tail = Ring.pop_n r (Ring.length r) in
+      popped := List.rev_append tail !popped;
+      Ring.total_pushed r = !pushed
+      && List.rev !popped = List.rev !popped_model @ !model)
+
 let prop_ring_length_invariant =
   QCheck.Test.make ~name:"ring length = pushes - pops" ~count:200
     QCheck.(list bool)
@@ -192,6 +267,44 @@ let test_qp_backpressure () =
       Alcotest.(check bool) "submission throttled by full ring" true
         (Engine.now e -. t0 > 500.0))
 
+let test_qp_submit_n_one_doorbell () =
+  in_sim (fun _e ->
+      let qp = Qp.create ~role:Qp.Primary ~ordering:Qp.Ordered ~id:1 () in
+      Qp.submit_n qp [ 1; 2; 3; 4 ];
+      Alcotest.(check int) "one ring for the whole batch" 1
+        (Qp.doorbell_rings qp);
+      Qp.submit qp 5;
+      Qp.submit qp 6;
+      Alcotest.(check int) "singles ring per entry" 3 (Qp.doorbell_rings qp);
+      Qp.submit_n qp [];
+      Alcotest.(check int) "empty batch does not ring" 3 (Qp.doorbell_rings qp);
+      Alcotest.(check (list int)) "batch then singles, FIFO" [ 1; 2; 3; 4; 5; 6 ]
+        (Qp.poll_sq_n qp 16))
+
+let test_qp_batch_backpressure () =
+  in_sim (fun e ->
+      let qp =
+        Qp.create ~sq_depth:2 ~role:Qp.Primary ~ordering:Qp.Ordered ~id:1 ()
+      in
+      let drained = ref [] in
+      Engine.spawn e (fun () ->
+          (* worker drains pairs every 1000 ns; batch pops free SQ slots
+             and wake the parked producer *)
+          Engine.wait 1000.0;
+          for _ = 1 to 3 do
+            drained := !drained @ Qp.poll_sq_n qp 2;
+            Engine.wait 1000.0
+          done);
+      let t0 = Engine.now e in
+      Qp.submit_n qp [ 1; 2; 3; 4; 5; 6 ];
+      Alcotest.(check bool) "producer parked until slots freed" true
+        (Engine.now e -. t0 >= 1000.0);
+      Alcotest.(check bool) "stalls counted" true (Qp.sq_stalls qp > 0);
+      Engine.wait 5000.0;
+      Alcotest.(check (list int)) "order preserved through stalls"
+        [ 1; 2; 3; 4; 5; 6 ] !drained;
+      Alcotest.(check int) "still one doorbell" 1 (Qp.doorbell_rings qp))
+
 let test_qp_marks () =
   let qp = Qp.create ~role:Qp.Primary ~ordering:Qp.Unordered ~id:3 () in
   Alcotest.(check bool) "starts normal" true (Qp.mark qp = Qp.Normal);
@@ -280,7 +393,9 @@ let () =
           Alcotest.test_case "capacity pow2" `Quick test_ring_capacity_pow2;
           Alcotest.test_case "fifo" `Quick test_ring_fifo;
           Alcotest.test_case "full" `Quick test_ring_full;
+          Alcotest.test_case "batch ops" `Quick test_ring_batch_ops;
           QCheck_alcotest.to_alcotest prop_ring_wraparound;
+          QCheck_alcotest.to_alcotest prop_ring_batch_fifo;
           QCheck_alcotest.to_alcotest prop_ring_length_invariant;
         ] );
       ( "shmem",
@@ -296,6 +411,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_qp_roundtrip;
           Alcotest.test_case "doorbell" `Quick test_qp_doorbell_wakes_worker;
           Alcotest.test_case "backpressure" `Quick test_qp_backpressure;
+          Alcotest.test_case "batched doorbell" `Quick
+            test_qp_submit_n_one_doorbell;
+          Alcotest.test_case "batched backpressure" `Quick
+            test_qp_batch_backpressure;
           Alcotest.test_case "marks" `Quick test_qp_marks;
           Alcotest.test_case "depth tracking" `Quick test_qp_depth_tracking;
         ] );
