@@ -33,6 +33,13 @@ let pct base v = Printf.sprintf "%+.0f%%" (100.0 *. (v -. base) /. base)
 
 let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
 
+(* Smoke mode shrinks every experiment's workload for CI. Enabled by
+   the LABSTOR_SMOKE environment variable or the --smoke flag (which
+   main.ml records here). *)
+let force_smoke = ref false
+
+let smoke () = !force_smoke || Sys.getenv_opt "LABSTOR_SMOKE" <> None
+
 (* Wall-clock self-measurement of the simulator. Off by default —
    wall-clock numbers vary run to run, and the default experiment
    output must stay byte-identical for the determinism checks — so the

@@ -26,10 +26,13 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "batching",
       "Batched submission: doorbells, batch dequeue, merging",
       Exp_batching.run );
+    ( "cache",
+      "Sharded cache: readahead, coalesced write-back",
+      Exp_cache.run );
   ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment|all|micro]";
+  print_endline "usage: main.exe [experiment|all|micro] [--smoke]";
   print_endline "experiments:";
   List.iter (fun (name, desc, _) -> Printf.printf "  %-24s %s\n" name desc)
     experiments;
@@ -43,7 +46,18 @@ let run_all () =
     experiments
 
 let () =
-  match Array.to_list Sys.argv with
+  (* --smoke anywhere on the command line = LABSTOR_SMOKE=1. *)
+  let argv =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          Bench_util.force_smoke := true;
+          false
+        end
+        else true)
+      (Array.to_list Sys.argv)
+  in
+  match argv with
   | [ _ ] | [ _; "all" ] -> run_all ()
   | [ _; "micro" ] -> Micro.run ()
   | [ _; name ] -> (

@@ -18,4 +18,8 @@ LABSTOR_SMOKE=1 dune exec bench/main.exe -- faults
 echo "== batching smoke (LABSTOR_SMOKE=1) =="
 LABSTOR_SMOKE=1 dune exec bench/main.exe -- batching
 
+echo "== cache smoke (--smoke) =="
+dune exec bench/main.exe -- cache --smoke
+test -s BENCH_cache.json
+
 echo "check: OK"

@@ -244,6 +244,126 @@ let faults_cmd =
        ~doc:"Drive a block workload against a device with a deterministic fault plan and report fault/retry counters")
     Term.(const run $ rate $ timeout_rate $ torn_rate $ seed $ ops $ bytes $ threads $ trace)
 
+(* ---------------- cache ---------------- *)
+
+let cache_stack_spec ~policy ~capacity_mb ~shards ~readahead =
+  Printf.sprintf
+    {|
+mount: "blk::/cache"
+rules:
+  exec_mode: async
+dag:
+  - uuid: cache0
+    mod: %s
+    attrs:
+      capacity_mb: %d
+      shards: %d
+      readahead: %b
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+    policy capacity_mb shards readahead
+
+let cache_cmd =
+  let policy =
+    Arg.(value & opt (enum [ ("lru", "lru_cache"); ("arc", "arc_cache") ]) "lru_cache"
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"replacement policy: $(b,lru) or $(b,arc)")
+  in
+  let capacity_mb =
+    Arg.(value & opt int 4 & info [ "capacity-mb" ] ~doc:"cache capacity in MiB")
+  in
+  let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"independent cache shards") in
+  let readahead = Arg.(value & flag & info [ "readahead" ] ~doc:"enable sequential readahead") in
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"client threads (one stream each)") in
+  let write_pct =
+    Arg.(value & opt int 25 & info [ "write-pct" ] ~doc:"percentage of ops that are writes (0-100)")
+  in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let run policy capacity_mb shards readahead ops threads write_pct seed =
+    let write_pct = Stdlib.max 0 (Stdlib.min 100 write_pct) in
+    let platform = Platform.boot ~nworkers:4 ~seed () in
+    (match
+       Platform.mount platform
+         (cache_stack_spec ~policy ~capacity_mb ~shards ~readahead)
+     with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "mount error: %s\n" e;
+        exit 1);
+    let machine = Platform.machine platform in
+    let lat = Sim.Stats.create () in
+    let failed = ref 0 in
+    Platform.go platform (fun () ->
+        let finished = ref 0 in
+        Sim.Engine.suspend (fun resume ->
+            for th = 0 to threads - 1 do
+              Sim.Engine.spawn machine.Sim.Machine.engine (fun () ->
+                  let c = Platform.client platform ~thread:th () in
+                  (* Per-thread sequential streams in disjoint page
+                     regions: reads from the base, writes from the
+                     upper half. *)
+                  let rpage = ref (th * 1_000_000) in
+                  let wpage = ref ((th * 1_000_000) + 500_000) in
+                  for i = 1 to ops do
+                    let t0 = Sim.Machine.now machine in
+                    let r =
+                      if write_pct > 0 && i * write_pct mod 100 < write_pct then begin
+                        let lba = !wpage in
+                        incr wpage;
+                        Runtime.Client.write_block c ~stream:th ~mount:"blk::/cache"
+                          ~lba ~bytes:4096
+                      end
+                      else begin
+                        let lba = !rpage in
+                        incr rpage;
+                        Runtime.Client.read_block c ~stream:th ~mount:"blk::/cache"
+                          ~lba ~bytes:4096
+                      end
+                    in
+                    match r with
+                    | Ok _ -> Sim.Stats.add lat (Sim.Machine.now machine -. t0)
+                    | Error _ -> incr failed
+                  done;
+                  incr finished;
+                  if !finished = threads then resume ())
+            done));
+    let elapsed = Platform.now platform in
+    let total = ops * threads in
+    let rt = Platform.runtime platform in
+    Printf.printf
+      "cache workload: %d sequential 4 KiB ops (%d%% writes), %s capacity=%d MiB shards=%d readahead=%b seed=%#x\n"
+      total write_pct policy capacity_mb shards readahead seed;
+    Printf.printf "  throughput    %.1f kIOPS (%.2f ms simulated)\n"
+      (float_of_int total /. (elapsed /. 1e9) /. 1000.0)
+      (elapsed /. 1e6);
+    Printf.printf "  latency       p50 %.1f us  p99 %.1f us\n"
+      (Sim.Stats.percentile lat 50.0 /. 1e3)
+      (Sim.Stats.percentile lat 99.0 /. 1e3);
+    if !failed > 0 then
+      Printf.printf "  failed        %d of %d surfaced to the application\n" !failed total;
+    (match Core.Registry.find (Runtime.Runtime.registry rt) "cache0" with
+    | None -> ()
+    | Some m ->
+        let counters, shard_counters =
+          if policy = "arc_cache" then
+            (Mods.Arc_cache.counter_list m, Mods.Arc_cache.shard_counter_list m)
+          else
+            (Mods.Lru_cache.counter_list m, Mods.Lru_cache.shard_counter_list m)
+        in
+        Printf.printf "  cache         %s\n"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters));
+        Printf.printf "  per-shard     %s\n"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) shard_counters)))
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Drive sequential per-thread streams through a cache stack and report hit/readahead/write-back counters")
+    Term.(const run $ policy $ capacity_mb $ shards $ readahead $ ops $ threads $ write_pct $ seed)
+
 (* ---------------- mods ---------------- *)
 
 let mods_cmd =
@@ -269,4 +389,4 @@ let () =
     Cmd.info "labstor_cli" ~version:"1.0.0"
       ~doc:"LabStor platform utilities (simulated deployment)"
   in
-  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; faults_cmd; mods_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; faults_cmd; cache_cmd; mods_cmd ]))

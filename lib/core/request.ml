@@ -47,6 +47,12 @@ type t = {
   mutable result : result option;
   mutable hint_hctx : int option;
       (** hardware-queue steering decision made by a scheduler LabMod *)
+  mutable hint_stream : int option;
+      (** client-provided stream id for sequential-access detection;
+          caches fall back to the pid when absent *)
+  mutable prefetch : bool;
+      (** speculative readahead fill issued by a cache, not a demand
+          access — downstream caches must not re-trigger readahead on it *)
   submitted_at : float;
 }
 
@@ -61,6 +67,8 @@ let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
     payload;
     result = None;
     hint_hctx = None;
+    hint_stream = None;
+    prefetch = false;
     submitted_at = now;
   }
 

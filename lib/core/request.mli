@@ -54,6 +54,12 @@ type t = {
   mutable result : result option;
   mutable hint_hctx : int option;
       (** hardware-queue steering decision made by a scheduler LabMod *)
+  mutable hint_stream : int option;
+      (** client-provided stream id for sequential-access detection;
+          caches fall back to the pid when absent *)
+  mutable prefetch : bool;
+      (** speculative readahead fill issued by a cache, not a demand
+          access — downstream caches must not re-trigger readahead on it *)
   submitted_at : float;
 }
 

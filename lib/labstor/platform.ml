@@ -13,8 +13,8 @@ let backend_name kind = String.lowercase_ascii (Profile.kind_to_string kind)
 
 let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(devices = [ Profile.Nvme ]) ?default_device ?(seed = 0xC0FFEE)
-    ?(workers_busy_poll = false) ?(worker_batch_size = 1) ?fault_rates
-    ?fault_script () =
+    ?(workers_busy_poll = false) ?(worker_batch_size = 1)
+    ?(worker_max_inflight = 16) ?fault_rates ?fault_script () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
@@ -46,6 +46,7 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       worker_core_base = Stdlib.max 0 (ncores - nworkers);
       workers_busy_poll;
       worker_batch_size;
+      worker_max_inflight;
     }
   in
   let rt =

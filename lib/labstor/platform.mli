@@ -15,6 +15,7 @@ val boot :
   ?seed:int ->
   ?workers_busy_poll:bool ->
   ?worker_batch_size:int ->
+  ?worker_max_inflight:int ->
   ?fault_rates:Lab_sim.Fault.rates ->
   ?fault_script:Lab_sim.Fault.event list ->
   unit ->
@@ -23,7 +24,9 @@ val boot :
     device (plus any others listed). Backends are named after their
     device kind in lowercase ("nvme", "ssd", "hdd", "pmem").
     [worker_batch_size] (default 1) bounds how many requests a worker
-    drains per queue per cross-core pull; see {!Lab_runtime.Worker}.
+    drains per queue per cross-core pull; [worker_max_inflight]
+    (default 16) bounds each worker's asynchronous window; see
+    {!Lab_runtime.Worker}.
 
     If [fault_rates] or [fault_script] is given, every booted device
     gets a deterministic fault plan derived from [seed] (one independent

@@ -123,110 +123,54 @@ module Arc = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* The LabMod                                                          *)
+(* The LabMod: the shared sharded engine with an ARC policy per shard   *)
 (* ------------------------------------------------------------------ *)
 
-type arc_state = {
-  arc : Arc.t;
-  dirty : (int, unit) Hashtbl.t;
-  page_bytes : int;
-  write_through : bool;
-  mutable hit_count : int;
-  mutable miss_count : int;
-  mutable writeback_failures : int;
-}
-
-type Labmod.state += State of arc_state
+type Labmod.state += State of { core : Cache_core.t; arcs : Arc.t array }
 
 let name = "arc_cache"
 
-let hits m = match m.Labmod.state with State s -> s.hit_count | _ -> 0
+let core m = match m.Labmod.state with State s -> Some s.core | _ -> None
 
-let misses m = match m.Labmod.state with State s -> s.miss_count | _ -> 0
+let with_core m f = match core m with Some t -> f t | None -> 0
 
-let writeback_failures m =
-  match m.Labmod.state with State s -> s.writeback_failures | _ -> 0
+let hits m = with_core m Cache_core.hits
 
-let p_target m = match m.Labmod.state with State s -> Arc.p s.arc | _ -> 0
+let misses m = with_core m Cache_core.misses
 
-let pages_of ~page_bytes lba bytes =
-  let first = lba and last = lba + ((bytes - 1) / page_bytes) in
-  List.init (last - first + 1) (fun i -> first + i)
+let writeback_failures m = with_core m Cache_core.writeback_failures
+
+let counter_list m =
+  match core m with Some t -> Cache_core.counter_list t | None -> []
+
+let shard_counter_list m =
+  match core m with Some t -> Cache_core.shard_counter_list t | None -> []
+
+let arc_shards m = match m.Labmod.state with State s -> s.arcs | _ -> [||]
+
+(* The adaptive target across shards: each shard tunes its own p; the
+   largest is the most meaningful summary for a recency-heavy stream. *)
+let p_target m =
+  Array.fold_left (fun acc a -> Stdlib.max acc (Arc.p a)) 0 (arc_shards m)
+
+(* Adapt the pure ARC structure to the engine's policy interface. The
+   factory collects each shard's Arc.t so tests can inspect ghost-list
+   invariants per shard. *)
+let arc_policy acc ~capacity =
+  let a = Arc.create ~capacity in
+  acc := a :: !acc;
+  {
+    Cache_core.pol_mem = (fun p -> Arc.mem a p);
+    pol_touch = (fun p -> Arc.touch a p);
+    pol_evicted =
+      (fun () -> match Arc.evicted a with Some v -> [ v ] | None -> []);
+    pol_live = (fun () -> Arc.live_count a);
+  }
 
 let operate m ctx req =
-  match (m.Labmod.state, req.Request.payload) with
-  | State _, Request.Block { b_sync = true; _ } -> ctx.Labmod.forward req
-  | State s, Request.Block { b_kind; b_lba; b_bytes; b_sync = false } -> (
-      let machine = ctx.Labmod.machine in
-      let costs = machine.Machine.costs in
-      let copy = Costs.copy_cost costs b_bytes in
-      let pages = pages_of ~page_bytes:s.page_bytes b_lba b_bytes in
-      let npages = Stdlib.float_of_int (List.length pages) in
-      let writeback_evicted () =
-        match Arc.evicted s.arc with
-        | Some page when Hashtbl.mem s.dirty page ->
-            Hashtbl.remove s.dirty page;
-            ctx.Labmod.forward_async
-              {
-                req with
-                Request.payload =
-                  Request.Block
-                    {
-                      Request.b_kind = Request.Write;
-                      b_lba = page;
-                      b_bytes = s.page_bytes;
-                      b_sync = false;
-                    };
-              }
-              (fun r ->
-                if not (Request.is_ok r) then
-                  s.writeback_failures <- s.writeback_failures + 1)
-        | Some page -> Hashtbl.remove s.dirty page
-        | None -> ()
-      in
-      match b_kind with
-      | Request.Write ->
-          Machine.compute machine ~thread:ctx.Labmod.thread
-            ((costs.Costs.cache_insert_ns *. npages) +. copy);
-          List.iter
-            (fun page ->
-              ignore (Arc.touch s.arc page);
-              writeback_evicted ();
-              Hashtbl.replace s.dirty page ())
-            pages;
-          if s.write_through then ctx.Labmod.forward req
-          else Request.Size b_bytes
-      | Request.Read ->
-          Machine.compute machine ~thread:ctx.Labmod.thread
-            (costs.Costs.cache_lookup_ns *. npages);
-          let all_resident = List.for_all (fun p -> Arc.mem s.arc p) pages in
-          if all_resident then begin
-            s.hit_count <- s.hit_count + 1;
-            List.iter
-              (fun page ->
-                ignore (Arc.touch s.arc page);
-                writeback_evicted ())
-              pages;
-            Machine.compute machine ~thread:ctx.Labmod.thread copy;
-            Request.Size b_bytes
-          end
-          else begin
-            s.miss_count <- s.miss_count + 1;
-            let result = ctx.Labmod.forward req in
-            (* Never admit pages whose fill failed (injected fault): the
-               read produced no data worth caching. *)
-            if Request.is_ok result then begin
-              Machine.compute machine ~thread:ctx.Labmod.thread
-                ((costs.Costs.cache_insert_ns *. npages) +. copy);
-              List.iter
-                (fun page ->
-                  ignore (Arc.touch s.arc page);
-                  writeback_evicted ())
-                pages
-            end;
-            result
-          end)
-  | _ -> Request.Failed "arc_cache: expects block requests"
+  match core m with
+  | Some t -> Cache_core.operate t ctx req
+  | None -> Request.Failed "arc_cache: not initialized"
 
 let est m req =
   ignore m;
@@ -234,28 +178,11 @@ let est m req =
 
 let factory : Registry.factory =
  fun ~uuid ~attrs ->
-  let capacity_mb =
-    Option.value ~default:64
-      (Option.bind (List.assoc_opt "capacity_mb" attrs) Yamlite.get_int)
-  in
-  let write_through =
-    Option.value ~default:false
-      (Option.bind (List.assoc_opt "write_through" attrs) Yamlite.get_bool)
-  in
-  let page_bytes = 4096 in
-  let capacity = Stdlib.max 1 (capacity_mb * 1024 * 1024 / page_bytes) in
+  let cfg = Cache_core.config_of_attrs ~name attrs in
+  let acc = ref [] in
+  let core = Cache_core.create ~policy:(arc_policy acc) cfg in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Cache
-    ~state:
-      (State
-         {
-           arc = Arc.create ~capacity;
-           dirty = Hashtbl.create 1024;
-           page_bytes;
-           write_through;
-           hit_count = 0;
-           miss_count = 0;
-           writeback_failures = 0;
-         })
+    ~state:(State { core; arcs = Array.of_list (List.rev !acc) })
     {
       Labmod.operate;
       est_processing_time = est;

@@ -16,20 +16,34 @@ open Lab_core
 val name : string
 
 val factory : Registry.factory
-(** Attributes: [capacity_mb] (default 64), [write_through] (default
-    false). *)
+(** Attributes (see {!Cache_core.config_of_attrs}): [capacity_mb]
+    (default 64), [write_through] (false), [shards] (1), [readahead]
+    (false), [ra_min_pages] (4), [ra_max_pages] (64), [wb_high] (32),
+    [wb_low] (8), [wb_max_batch] (64). The ARC policy runs per shard,
+    each with its own adaptive target. *)
+
+val core : Labmod.t -> Cache_core.t option
+(** The underlying engine, for counter inspection. *)
 
 val hits : Labmod.t -> int
 
 val misses : Labmod.t -> int
 
 val writeback_failures : Labmod.t -> int
-(** Asynchronous dirty-page writebacks that completed with a failure.
-    As with [lru_cache], a read miss whose downstream fill fails is
-    never admitted into the cache. *)
+(** Pages whose write-back run completed with a failure. As with
+    [lru_cache], a read miss whose downstream fill fails is never
+    admitted into the cache. *)
+
+val counter_list : Labmod.t -> (string * int) list
+(** Aggregate engine counters as labelled pairs
+    (see {!Cache_core.counter_list}). *)
+
+val shard_counter_list : Labmod.t -> (string * int) list
+(** Per-shard hits/misses/evictions as labelled pairs. *)
 
 val p_target : Labmod.t -> int
-(** Current adaptive target for the recency side, in pages. *)
+(** Current adaptive target for the recency side, in pages (the
+    maximum across shards). *)
 
 (** The pure ARC structure, exposed for property tests. *)
 module Arc : sig
@@ -54,3 +68,6 @@ module Arc : sig
 
   val capacity : t -> int
 end
+
+val arc_shards : Labmod.t -> Arc.t array
+(** Each shard's ARC structure, for ghost-list invariant tests. *)

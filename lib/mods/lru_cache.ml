@@ -1,135 +1,33 @@
-(* LRU page-cache LabMod: write-through page cache over block requests.
-   Writes copy payload pages into the cache and continue downstream;
-   reads served from cache skip the device entirely. *)
+(* LRU page-cache LabMod: a thin policy wrapper around the shared
+   sharded cache engine (Cache_core), which provides sharding,
+   sequential readahead and coalesced dirty write-back. *)
 
-open Lab_sim
 open Lab_core
 
-type cache_state = {
-  pages : (int, bool ref) Lru.t;  (* page -> dirty flag *)
-  page_bytes : int;
-  write_through : bool;  (* policy knob: persist writes synchronously *)
-  mutable hit_count : int;
-  mutable miss_count : int;
-  mutable writeback_failures : int;
-      (* async dirty-page writebacks that came back failed *)
-}
-
-type Labmod.state += State of cache_state
+type Labmod.state += State of Cache_core.t
 
 let name = "lru_cache"
 
-let pages_of_req ~page_bytes lba bytes =
-  let first = lba and last = lba + ((bytes - 1) / page_bytes) in
-  List.init (last - first + 1) (fun i -> first + i)
+let core m = match m.Labmod.state with State t -> Some t | _ -> None
 
-let hits m =
-  match m.Labmod.state with State s -> s.hit_count | _ -> 0
+let with_core m f = match core m with Some t -> f t | None -> 0
 
-let misses m =
-  match m.Labmod.state with State s -> s.miss_count | _ -> 0
+let hits m = with_core m Cache_core.hits
 
-let writeback_failures m =
-  match m.Labmod.state with State s -> s.writeback_failures | _ -> 0
+let misses m = with_core m Cache_core.misses
+
+let writeback_failures m = with_core m Cache_core.writeback_failures
+
+let counter_list m =
+  match core m with Some t -> Cache_core.counter_list t | None -> []
+
+let shard_counter_list m =
+  match core m with Some t -> Cache_core.shard_counter_list t | None -> []
 
 let operate m ctx req =
-  match (m.Labmod.state, req.Request.payload) with
-  | State _, Request.Block { b_sync = true; _ } ->
-      (* Force-unit-access traffic (journal/flush writes) bypasses the
-         cache and goes straight to the device. *)
-      ctx.Labmod.forward req
-  | State s, Request.Block { b_kind; b_lba; b_bytes; b_sync = false } -> (
-      let machine = ctx.Labmod.machine in
-      let costs = machine.Machine.costs in
-      let copy = Costs.copy_cost costs b_bytes in
-      let pages = pages_of_req ~page_bytes:s.page_bytes b_lba b_bytes in
-      (* Write back an evicted dirty page asynchronously. *)
-      let writeback evicted =
-        match evicted with
-        | Some (page, dirty) when !dirty ->
-            let io =
-              {
-                req with
-                Request.payload =
-                  Request.Block
-                    {
-                      Request.b_kind = Request.Write;
-                      b_lba = page;
-                      b_bytes = s.page_bytes;
-                      b_sync = false;
-                    };
-              }
-            in
-            ctx.Labmod.forward_async io (fun r ->
-                if not (Request.is_ok r) then
-                  s.writeback_failures <- s.writeback_failures + 1)
-        | _ -> ()
-      in
-      match b_kind with
-      | Request.Write ->
-          if s.write_through then begin
-            (* Copy in, then persist synchronously. *)
-            Machine.compute machine ~thread:ctx.Labmod.thread
-              (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
-              +. copy);
-            List.iter (fun p -> writeback (Lru.put s.pages p (ref false))) pages;
-            let result = ctx.Labmod.forward req in
-            (* Device fault: the cache copy is now the only good copy;
-               mark it dirty so eviction retries the persist. *)
-            if not (Request.is_ok result) then
-              List.iter
-                (fun p ->
-                  match Lru.find s.pages p with
-                  | Some dirty -> dirty := true
-                  | None -> ())
-                pages;
-            result
-          end
-          else begin
-            (* Write-back cache: the data is absorbed here and reaches
-               the device only when its pages are evicted (or flushed). *)
-            Machine.compute machine ~thread:ctx.Labmod.thread
-              (costs.Costs.cache_insert_ns *. Stdlib.float_of_int (List.length pages)
-              +. copy);
-            List.iter
-              (fun p ->
-                match Lru.find s.pages p with
-                | Some dirty -> dirty := true
-                | None -> writeback (Lru.put s.pages p (ref true)))
-              pages;
-            Request.Size b_bytes
-          end
-      | Request.Read ->
-          let all_cached = List.for_all (fun p -> Lru.mem s.pages p) pages in
-          Machine.compute machine ~thread:ctx.Labmod.thread
-            (costs.Costs.cache_lookup_ns *. Stdlib.float_of_int (List.length pages));
-          if all_cached then begin
-            s.hit_count <- s.hit_count + 1;
-            (* Promote + copy out. *)
-            List.iter (fun p -> ignore (Lru.find s.pages p)) pages;
-            Machine.compute machine ~thread:ctx.Labmod.thread copy;
-            Request.Size b_bytes
-          end
-          else begin
-            s.miss_count <- s.miss_count + 1;
-            let result = ctx.Labmod.forward req in
-            (* Never admit a page whose fill failed: a faulted read left
-               no data to cache, and admitting it would serve garbage on
-               the next (hit) access. *)
-            if Request.is_ok result then begin
-              Machine.compute machine ~thread:ctx.Labmod.thread
-                (costs.Costs.cache_insert_ns
-                 *. Stdlib.float_of_int (List.length pages)
-                +. copy);
-              List.iter
-                (fun p ->
-                  if not (Lru.mem s.pages p) then
-                    writeback (Lru.put s.pages p (ref false)))
-                pages
-            end;
-            result
-          end)
-  | _ -> Request.Failed "lru_cache: expects block requests"
+  match core m with
+  | Some t -> Cache_core.operate t ctx req
+  | None -> Request.Failed "lru_cache: not initialized"
 
 let est m req =
   ignore m;
@@ -137,27 +35,9 @@ let est m req =
 
 let factory : Registry.factory =
  fun ~uuid ~attrs ->
-  let capacity_mb =
-    Option.value ~default:64
-      (Option.bind (List.assoc_opt "capacity_mb" attrs) Yamlite.get_int)
-  in
-  let write_through =
-    Option.value ~default:false
-      (Option.bind (List.assoc_opt "write_through" attrs) Yamlite.get_bool)
-  in
-  let page_bytes = 4096 in
-  let capacity = Stdlib.max 1 (capacity_mb * 1024 * 1024 / page_bytes) in
+  let cfg = Cache_core.config_of_attrs ~name attrs in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Cache
-    ~state:
-      (State
-         {
-           pages = Lru.create ~capacity ();
-           page_bytes;
-           write_through;
-           hit_count = 0;
-           miss_count = 0;
-           writeback_failures = 0;
-         })
+    ~state:(State (Cache_core.create ~policy:Cache_core.lru_policy cfg))
     {
       Labmod.operate;
       est_processing_time = est;

@@ -1,13 +1,20 @@
 (** LRU page-cache LabMod.
 
-    Write-back by default: writes are absorbed and dirty pages reach
-    the device only on eviction; the [write_through] attribute persists
-    writes synchronously instead. Reads served from cache skip the rest
-    of the stack. Force-unit-access requests ([b_sync], e.g. journal
-    flushes) always bypass the cache.
+    A thin policy wrapper around {!Cache_core}: the engine provides
+    sharding, sequential readahead, and coalesced dirty write-back;
+    this module contributes the LRU replacement policy.
 
-    Attributes: [capacity_mb] (default 64), [write_through] (default
-    false). *)
+    Write-back by default: writes are absorbed and dirty pages reach
+    the device only when evicted pages are flushed from the write-back
+    log (or on a [Control] drain); the [write_through] attribute
+    persists writes synchronously instead. Reads served from cache skip
+    the rest of the stack. Force-unit-access requests ([b_sync], e.g.
+    journal flushes) always bypass the cache.
+
+    Attributes (see {!Cache_core.config_of_attrs}): [capacity_mb]
+    (default 64), [write_through] (false), [shards] (1), [readahead]
+    (false), [ra_min_pages] (4), [ra_max_pages] (64), [wb_high] (32),
+    [wb_low] (8), [wb_max_batch] (64). *)
 
 open Lab_core
 
@@ -15,12 +22,22 @@ val name : string
 
 val factory : Registry.factory
 
+val core : Labmod.t -> Cache_core.t option
+(** The underlying engine, for counter inspection. *)
+
 val hits : Labmod.t -> int
 
 val misses : Labmod.t -> int
 
 val writeback_failures : Labmod.t -> int
-(** Asynchronous dirty-page writebacks that completed with a failure
+(** Pages whose asynchronous write-back run completed with a failure
     (e.g. an injected device fault). Read misses whose fill fails are
     never admitted into the cache; write-through writes that fail leave
     their pages dirty so eviction retries the persist. *)
+
+val counter_list : Labmod.t -> (string * int) list
+(** Aggregate engine counters as labelled pairs
+    (see {!Cache_core.counter_list}). *)
+
+val shard_counter_list : Labmod.t -> (string * int) list
+(** Per-shard hits/misses/evictions as labelled pairs. *)

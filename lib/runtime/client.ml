@@ -177,7 +177,7 @@ let recover t =
 
 (* One dispatch of one attempt, transparently handling Runtime crashes
    (resubmitting after repair) and exec-mode differences. *)
-let rec dispatch_once t (stack : Stack.t) payload ~hint ~deadline_abs =
+let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
   apply_decentralized_upgrades t;
   let req =
     Request.make
@@ -187,6 +187,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~deadline_abs =
       payload
   in
   req.Request.hint_hctx <- hint;
+  req.Request.hint_stream <- stream;
   match stack.Stack.exec_mode with
   | Stack_spec.Sync ->
       (* The whole DAG runs in the client thread: no IPC, no central
@@ -198,7 +199,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~deadline_abs =
   | Stack_spec.Async ->
       if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
         recover t;
-        dispatch_once t stack payload ~hint ~deadline_abs
+        dispatch_once t stack payload ~hint ~stream ~deadline_abs
       end
       else begin
         let qp = qp_for_stack t stack in
@@ -231,7 +232,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~deadline_abs =
                  req.Request.id t.policy.deadline_ns)
         | Error `Crashed ->
             recover t;
-            dispatch_once t stack payload ~hint ~deadline_abs
+            dispatch_once t stack payload ~hint ~stream ~deadline_abs
       end
 
 let deadline_of_policy t =
@@ -253,7 +254,7 @@ let backoff_ns t attempt =
    exponential backoff + jitter on transient failures, degraded-mode
    requeueing to another hardware queue on EOFFLINE, all under one
    per-request deadline. *)
-let retry_transient t (stack : Stack.t) payload ~deadline_abs first =
+let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
   let p = t.policy in
   let rec next n ~hint result =
     if not (Request.is_transient_failure result) then result
@@ -279,16 +280,18 @@ let retry_transient t (stack : Stack.t) payload ~deadline_abs first =
         Request.failed_errno "ETIMEDOUT"
           "deadline exhausted during retry backoff"
       end
-      else next (n + 1) ~hint (dispatch_once t stack payload ~hint ~deadline_abs)
+      else
+        next (n + 1) ~hint
+          (dispatch_once t stack payload ~hint ~stream ~deadline_abs)
     end
   in
   next 0 ~hint:None first
 
 (* Submit a request and apply the fault policy to its outcome. *)
-let do_request t (stack : Stack.t) payload =
+let do_request t (stack : Stack.t) ?stream payload =
   let deadline_abs = deadline_of_policy t in
-  retry_transient t stack payload ~deadline_abs
-    (dispatch_once t stack payload ~hint:None ~deadline_abs)
+  retry_transient t stack payload ~stream ~deadline_abs
+    (dispatch_once t stack payload ~hint:None ~stream ~deadline_abs)
 
 (* --- Batched submission (io_uring-style multi-submit) --- *)
 
@@ -490,17 +493,19 @@ let delete t ~key =
   let* stack = resolve t key in
   as_unit (do_request t stack (Request.Kv (Request.Delete { key })))
 
-let block_op t ~mount kind ~lba ~bytes =
+let block_op t ?stream ~mount kind ~lba ~bytes =
   match Namespace.lookup (Runtime.namespace t.runtime) mount with
   | None -> Error (Printf.sprintf "nothing mounted at %S" mount)
   | Some stack ->
       as_size
-        (do_request t stack
+        (do_request t stack ?stream
            (Request.Block { Request.b_kind = kind; b_lba = lba; b_bytes = bytes; b_sync = false }))
 
-let write_block t ~mount ~lba ~bytes = block_op t ~mount Request.Write ~lba ~bytes
+let write_block ?stream t ~mount ~lba ~bytes =
+  block_op t ?stream ~mount Request.Write ~lba ~bytes
 
-let read_block t ~mount ~lba ~bytes = block_op t ~mount Request.Read ~lba ~bytes
+let read_block ?stream t ~mount ~lba ~bytes =
+  block_op t ?stream ~mount Request.Read ~lba ~bytes
 
 type batch_op = { op_kind : Request.io_kind; op_lba : int; op_bytes : int }
 
@@ -536,7 +541,9 @@ let block_batch t ~mount ops =
           Ok
             (List.map2
                (fun payload first ->
-                 as_size (retry_transient t stack payload ~deadline_abs first))
+                 as_size
+                   (retry_transient t stack payload ~stream:None ~deadline_abs
+                      first))
                payloads firsts))
 
 let control t ~mount payload =

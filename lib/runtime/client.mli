@@ -99,12 +99,17 @@ val delete : t -> key:string -> (unit, string) result
 
 (** {2 Raw block access} *)
 
-val write_block : t -> mount:string -> lba:int -> bytes:int -> (int, string) result
+val write_block :
+  ?stream:int -> t -> mount:string -> lba:int -> bytes:int -> (int, string) result
 (** Submits a block write to the stack at [mount] (whose entry LabMod
     must accept block requests, e.g. a scheduler or driver) — the
-    direct-to-device path of the scheduler experiments. *)
+    direct-to-device path of the scheduler experiments. [stream] tags
+    the request with a sequential-access stream id
+    ({!Lab_core.Request.t.hint_stream}) so cache LabMods can track
+    per-stream readahead; untagged requests are keyed by pid. *)
 
-val read_block : t -> mount:string -> lba:int -> bytes:int -> (int, string) result
+val read_block :
+  ?stream:int -> t -> mount:string -> lba:int -> bytes:int -> (int, string) result
 
 (** {2 Batched block access}
 

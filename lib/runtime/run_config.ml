@@ -54,6 +54,8 @@ let of_yaml node =
         workers_busy_poll = getb "busy_poll" d.Runtime.workers_busy_poll;
         worker_batch_size =
           geti "worker_batch_size" d.Runtime.worker_batch_size;
+        worker_max_inflight =
+          geti "worker_max_inflight" d.Runtime.worker_max_inflight;
       }
 
 let parse text =

@@ -11,6 +11,7 @@ type config = {
   worker_core_base : int;
   workers_busy_poll : bool;
   worker_batch_size : int;
+  worker_max_inflight : int;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     worker_core_base = 0;
     workers_busy_poll = false;
     worker_batch_size = 1;
+    worker_max_inflight = 16;
   }
 
 type qstat = {
@@ -149,7 +151,8 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
              Cpu.pin machine.Machine.cpu ~thread ~core;
              Worker.create machine ~id:i ~thread ~exec ~qstat ~qprime
                ~spin_ns:config.worker_spin_ns ~busy_poll:config.workers_busy_poll
-               ~batch_size:config.worker_batch_size ())
+               ~batch_size:config.worker_batch_size
+               ~max_inflight:config.worker_max_inflight ())
        in
        {
          machine;

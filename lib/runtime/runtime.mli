@@ -15,6 +15,9 @@ type config = {
   worker_batch_size : int;
       (** requests a worker sweep drains per queue per cross-core pull
           (default 1 = unbatched); see {!Worker.create} *)
+  worker_max_inflight : int;
+      (** per-worker asynchronous window: concurrent requests a worker
+          runs as coroutines (default 16, min 1); see {!Worker.create} *)
 }
 
 val default_config : config

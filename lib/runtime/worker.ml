@@ -25,7 +25,7 @@ type t = {
 
 let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     ?(qprime = fun ~qp_id:_ _ -> ()) ?(spin_ns = 5000.0) ?(busy_poll = false)
-    ?(batch_size = 1) () =
+    ?(batch_size = 1) ?(max_inflight = 16) () =
   {
     w_id = id;
     w_thread = thread;
@@ -44,7 +44,7 @@ let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     busy_poll;
     batch_size = Stdlib.max 1 batch_size;
     inflight = 0;
-    max_inflight = 16;
+    max_inflight = Stdlib.max 1 max_inflight;
   }
 
 let id t = t.w_id

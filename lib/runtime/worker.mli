@@ -20,6 +20,7 @@ val create :
   ?spin_ns:float ->
   ?busy_poll:bool ->
   ?batch_size:int ->
+  ?max_inflight:int ->
   unit ->
   t
 (** [exec] runs a request through its stack. [qstat] reports observed
@@ -31,7 +32,10 @@ val create :
     one sweep may drain from a queue per cross-core pull: the first
     entry pays the full {!Lab_sim.Costs.shmem_cross_core_ns}, the rest
     the {!Lab_sim.Costs.shmem_batch_frac} fraction. Queues are visited
-    round-robin, so batching never starves a sibling queue. *)
+    round-robin, so batching never starves a sibling queue.
+    [max_inflight] (default 16, min 1) bounds how many requests the
+    worker runs concurrently as coroutines — its asynchronous window;
+    a full window parks the worker until a completion frees a slot. *)
 
 val id : t -> int
 

@@ -5,6 +5,7 @@ type t = {
   user_copy_ns_per_byte : float;
   cache_insert_ns : float;
   cache_lookup_ns : float;
+  cache_shard_ns : float;
   kalloc_ns : float;
   shmem_enqueue_ns : float;
   shmem_cross_core_ns : float;
@@ -26,6 +27,7 @@ let default =
     user_copy_ns_per_byte = 0.08;
     cache_insert_ns = 400.0;
     cache_lookup_ns = 250.0;
+    cache_shard_ns = 120.0;
     kalloc_ns = 1200.0;
     shmem_enqueue_ns = 120.0;
     shmem_cross_core_ns = 600.0;

@@ -12,6 +12,10 @@ type t = {
   user_copy_ns_per_byte : float;  (** plain userspace memcpy *)
   cache_insert_ns : float;  (** page-cache index insert *)
   cache_lookup_ns : float;  (** page-cache index lookup *)
+  cache_shard_ns : float;
+      (** per-shard service entry: lock word + shard descriptor pull,
+          paid once per distinct shard a request touches (the cost that
+          sharding spreads across cores instead of serializing) *)
   kalloc_ns : float;  (** kernel request-structure allocation (bio, etc.) *)
   shmem_enqueue_ns : float;  (** producer-side shared-memory ring enqueue *)
   shmem_cross_core_ns : float;

@@ -1,0 +1,459 @@
+(* Tests for the shared sharded cache engine (Cache_core): equivalence
+   of the shards=1 configuration with a plain LRU-with-dirty-tracking
+   reference model, the readahead window ramp, faulted prefetch fills,
+   coalesced write-back, ARC ghost-list invariants under readahead
+   traffic, and the worker_max_inflight runtime plumbing. *)
+
+open Lab_sim
+open Lab_core
+open Lab_mods
+
+let in_sim ?(ncores = 8) f =
+  let m = Machine.create ~ncores () in
+  let result = ref None in
+  Machine.spawn m (fun () -> result := Some (f m));
+  Machine.run m;
+  match !result with Some r -> r | None -> Alcotest.fail "process never finished"
+
+let mk_req m ?(uid = 0) ?(thread = 0) payload =
+  Request.make ~id:1 ~pid:1 ~uid ~thread ~stack_id:1 ~now:(Machine.now m) payload
+
+let ctx_of m ~forward =
+  {
+    Labmod.machine = m;
+    thread = 0;
+    forward;
+    forward_async = (fun r k -> k (forward r));
+  }
+
+let block kind ~lba ~bytes =
+  Request.Block
+    { Request.b_kind = kind; b_lba = lba; b_bytes = bytes; b_sync = false }
+
+(* A small single-shard write-back configuration for the unit tests;
+   fields are overridden per test. *)
+let small_config ?(capacity_pages = 8) ?(nshards = 1) ?(readahead = false)
+    ?(wb_high = 4) ?(wb_low = 1) () =
+  {
+    (Cache_core.config_of_attrs ~name:"test_cache" []) with
+    Cache_core.capacity_pages;
+    nshards;
+    readahead;
+    wb_high;
+    wb_low;
+  }
+
+(* Forward hook that records every downstream write's pages. *)
+let recording_forward written (r : Request.t) =
+  (match r.Request.payload with
+  | Request.Block { b_kind = Request.Write; b_lba; b_bytes; _ } ->
+      for p = b_lba to b_lba + ((b_bytes - 1) / 4096) do
+        Hashtbl.replace written p ()
+      done
+  | _ -> ());
+  Request.Done
+
+(* ------------------------------------------------------------------ *)
+(* shards=1 equivalence with a reference model                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The reference: a plain LRU (most-recent-first list) with a dirty
+   set, mirroring the engine's semantics for a single shard with
+   readahead off — demand reads admit clean (clearing any dirty bit),
+   writes admit dirty, evicted dirty pages are eventually written
+   back. Only externally observable outcomes are modelled: hit/miss
+   counts, the resident dirty set, and the SET of pages ever written
+   back (the engine dedups within a flush, so multiplicity is not
+   comparable). *)
+module Model = struct
+  type t = {
+    capacity : int;
+    mutable order : int list;  (* most recent first *)
+    dirty : (int, unit) Hashtbl.t;
+    written : (int, unit) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~capacity =
+    {
+      capacity;
+      order = [];
+      dirty = Hashtbl.create 16;
+      written = Hashtbl.create 16;
+      hits = 0;
+      misses = 0;
+    }
+
+  let mem t p = List.mem p t.order
+
+  let touch t p =
+    if mem t p then t.order <- p :: List.filter (fun q -> q <> p) t.order
+    else begin
+      t.order <- p :: t.order;
+      if List.length t.order > t.capacity then begin
+        let rec split acc = function
+          | [ v ] -> (List.rev acc, v)
+          | x :: rest -> split (x :: acc) rest
+          | [] -> assert false
+        in
+        let keep, victim = split [] t.order in
+        t.order <- keep;
+        if Hashtbl.mem t.dirty victim then begin
+          Hashtbl.remove t.dirty victim;
+          Hashtbl.replace t.written victim ()
+        end
+      end
+    end
+
+  let pages ~lba ~npages = List.init npages (fun i -> lba + i)
+
+  let write t ~lba ~npages =
+    List.iter
+      (fun p ->
+        touch t p;
+        Hashtbl.replace t.dirty p ())
+      (pages ~lba ~npages)
+
+  let read t ~lba ~npages =
+    let ps = pages ~lba ~npages in
+    if List.for_all (mem t) ps then begin
+      t.hits <- t.hits + 1;
+      List.iter (touch t) ps
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      (* A demand fill admits every page of the request clean — also
+         the already-resident ones (the engine's admit path clears the
+         dirty bit without a write-back, mirrored here). *)
+      List.iter
+        (fun p ->
+          touch t p;
+          Hashtbl.remove t.dirty p)
+        ps
+    end
+
+  let dirty_sorted t =
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) t.dirty [])
+
+  let written_sorted t =
+    List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) t.written [])
+end
+
+let sorted_uniq tbl =
+  List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) tbl [])
+
+(* Random single-threaded trace: (is_write, lba in a small region,
+   npages in 1..2). *)
+let trace_gen =
+  QCheck.(
+    list_of_size Gen.(int_range 1 120)
+      (triple bool (int_range 0 30) (int_range 1 2)))
+
+let prop_single_shard_matches_model =
+  QCheck.Test.make ~count:150
+    ~name:"shards=1 engine == LRU reference (hits, misses, dirty, writeback)"
+    trace_gen
+    (fun ops ->
+      in_sim (fun m ->
+          let capacity = 8 in
+          let core =
+            Cache_core.create ~policy:Cache_core.lru_policy
+              (small_config ~capacity_pages:capacity ())
+          in
+          let model = Model.create ~capacity in
+          let written = Hashtbl.create 64 in
+          let ctx = ctx_of m ~forward:(recording_forward written) in
+          List.iter
+            (fun (is_write, lba, npages) ->
+              let bytes = npages * 4096 in
+              let payload =
+                block (if is_write then Request.Write else Request.Read) ~lba
+                  ~bytes
+              in
+              ignore (Cache_core.operate core ctx (mk_req m payload));
+              if is_write then Model.write model ~lba ~npages
+              else Model.read model ~lba ~npages)
+            ops;
+          (* Drain so every evicted dirty page reaches [written]. *)
+          ignore (Cache_core.operate core ctx (mk_req m (Request.Control 0)));
+          Cache_core.hits core = model.Model.hits
+          && Cache_core.misses core = model.Model.misses
+          && Cache_core.dirty_resident core = Model.dirty_sorted model
+          && sorted_uniq written = Model.written_sorted model
+          && Cache_core.live_pages core = List.length model.Model.order))
+
+(* ------------------------------------------------------------------ *)
+(* Readahead                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_readahead_ramp () =
+  in_sim (fun m ->
+      let core =
+        Cache_core.create ~policy:Cache_core.lru_policy
+          (small_config ~capacity_pages:1024 ~readahead:true ~wb_high:32
+             ~wb_low:8 ())
+      in
+      let ctx = ctx_of m ~forward:(fun _ -> Request.Done) in
+      for lba = 0 to 19 do
+        let r =
+          Cache_core.operate core ctx
+            (mk_req m (block Request.Read ~lba ~bytes:4096))
+        in
+        if not (Request.is_ok r) then Alcotest.failf "read %d failed" lba
+      done;
+      (* The first read cold-starts the stream, the second establishes
+         sequentiality and opens the window; everything after is served
+         from prefetched pages. *)
+      Alcotest.(check int) "misses" 2 (Cache_core.misses core);
+      Alcotest.(check int) "hits" 18 (Cache_core.hits core);
+      Alcotest.(check int) "readahead hits" 18 (Cache_core.readahead_hits core);
+      Alcotest.(check bool) "window issued ahead" true
+        (Cache_core.readahead_issued core >= 18))
+
+let test_readahead_separate_streams () =
+  in_sim (fun m ->
+      let core =
+        Cache_core.create ~policy:Cache_core.lru_policy
+          (small_config ~capacity_pages:1024 ~readahead:true ~wb_high:32
+             ~wb_low:8 ())
+      in
+      let ctx = ctx_of m ~forward:(fun _ -> Request.Done) in
+      (* Two interleaved sequential streams from one pid: without the
+         stream hint they destroy each other's sequentiality; with it
+         both ramp. *)
+      for i = 0 to 15 do
+        List.iter
+          (fun (stream, base) ->
+            let req =
+              mk_req m (block Request.Read ~lba:(base + i) ~bytes:4096)
+            in
+            req.Request.hint_stream <- Some stream;
+            ignore (Cache_core.operate core ctx req))
+          [ (1, 0); (2, 10_000) ]
+      done;
+      Alcotest.(check int) "two cold misses per stream" 4
+        (Cache_core.misses core);
+      Alcotest.(check int) "the rest are hits" 28 (Cache_core.hits core))
+
+let test_faulted_prefetch_not_admitted () =
+  in_sim (fun m ->
+      let core =
+        Cache_core.create ~policy:Cache_core.lru_policy
+          (small_config ~capacity_pages:1024 ~readahead:true ~wb_high:32
+             ~wb_low:8 ())
+      in
+      (* Prefetch-tagged fills fail at the device; demand reads are
+         served fine. *)
+      let forward (r : Request.t) =
+        if r.Request.prefetch then Request.failed_errno "EIO" "injected"
+        else Request.Done
+      in
+      let ctx = ctx_of m ~forward in
+      for lba = 0 to 9 do
+        ignore
+          (Cache_core.operate core ctx
+             (mk_req m (block Request.Read ~lba ~bytes:4096)))
+      done;
+      (* No faulted fill was admitted, so no read ever hits. *)
+      Alcotest.(check int) "all demand reads miss" 10 (Cache_core.misses core);
+      Alcotest.(check int) "no hits from faulted fills" 0
+        (Cache_core.hits core);
+      Alcotest.(check int) "no readahead hits" 0
+        (Cache_core.readahead_hits core);
+      Alcotest.(check bool) "prefetches were attempted" true
+        (Cache_core.readahead_issued core > 0);
+      Alcotest.(check int) "every prefetched page wasted"
+        (Cache_core.readahead_issued core)
+        (Cache_core.readahead_wasted core);
+      (* Only the demand-read pages are resident. *)
+      Alcotest.(check int) "live pages = demand reads" 10
+        (Cache_core.live_pages core))
+
+(* ------------------------------------------------------------------ *)
+(* Coalesced write-back                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_writeback_coalesces_adjacent () =
+  in_sim (fun m ->
+      let core =
+        Cache_core.create ~policy:Cache_core.lru_policy
+          (small_config ~capacity_pages:256 ~wb_high:32 ~wb_low:8 ())
+      in
+      let downstream_ops = ref 0 in
+      let downstream_pages = ref 0 in
+      let forward (r : Request.t) =
+        (match r.Request.payload with
+        | Request.Block { b_kind = Request.Write; b_bytes; _ } ->
+            incr downstream_ops;
+            downstream_pages := !downstream_pages + (b_bytes / 4096)
+        | _ -> ());
+        Request.Done
+      in
+      let ctx = ctx_of m ~forward in
+      (* 300 sequential dirty pages into a 256-page cache: pages 0..43
+         are evicted dirty, in LBA order. *)
+      for lba = 0 to 299 do
+        ignore
+          (Cache_core.operate core ctx
+             (mk_req m (block Request.Write ~lba ~bytes:4096)))
+      done;
+      ignore (Cache_core.operate core ctx (mk_req m (Request.Control 0)));
+      Alcotest.(check int) "44 dirty pages evicted" 44
+        (Cache_core.dirty_evictions core);
+      Alcotest.(check int) "all 44 pages written back" 44 !downstream_pages;
+      (* Adjacent evictions merge: the watermark flush covers 24 pages
+         in one op, the drain the remaining 20 in another. *)
+      Alcotest.(check int) "merged into 2 device ops" 2 !downstream_ops;
+      Alcotest.(check int) "engine counted the same ops" 2
+        (Cache_core.flush_ops core);
+      Alcotest.(check int) "engine counted the same pages" 44
+        (Cache_core.flush_pages core);
+      Alcotest.(check int) "log empty after drain" 0
+        (Cache_core.dirty_backlog core))
+
+(* ------------------------------------------------------------------ *)
+(* Sharded mod-level behaviour (through the LabMod factories)          *)
+(* ------------------------------------------------------------------ *)
+
+let drive m ?(forward = fun _ -> Request.Done) (labmod : Labmod.t) req =
+  let ctx =
+    {
+      Labmod.machine = m;
+      thread = req.Request.thread;
+      forward;
+      forward_async = (fun r k -> k (forward r));
+    }
+  in
+  labmod.Labmod.ops.Labmod.operate labmod ctx req
+
+let test_sharded_lru_mod () =
+  in_sim (fun m ->
+      let labmod =
+        Lru_cache.factory ~uuid:"lru4"
+          ~attrs:
+            [
+              ("capacity_mb", Yamlite.Int 1);
+              ("shards", Yamlite.Int 4);
+              ("readahead", Yamlite.Bool true);
+            ]
+      in
+      (* One sequential stream: 200 pages spans 4 chunks, so several
+         shards see traffic. *)
+      for lba = 0 to 199 do
+        ignore (drive m labmod (mk_req m (block Request.Read ~lba ~bytes:4096)))
+      done;
+      let core = Option.get (Lru_cache.core labmod) in
+      Alcotest.(check int) "4 shards" 4 (Cache_core.nshards core);
+      Alcotest.(check int) "every access counted" 200
+        (Cache_core.hits core + Cache_core.misses core);
+      Alcotest.(check bool) "readahead turned the stream into hits" true
+        (Cache_core.hits core > 150);
+      (* The per-shard counters cover all shards and sum to the
+         aggregate. *)
+      let shard_counters = Lru_cache.shard_counter_list labmod in
+      Alcotest.(check int) "3 counters per shard" 12
+        (List.length shard_counters);
+      let sum suffix =
+        List.fold_left
+          (fun acc (k, v) ->
+            if String.length k > String.length suffix
+               && String.sub k
+                    (String.length k - String.length suffix)
+                    (String.length suffix)
+                  = suffix
+            then acc + v
+            else acc)
+          0 shard_counters
+      in
+      Alcotest.(check int) "shard hits sum to aggregate"
+        (Cache_core.hits core) (sum "_hits");
+      Alcotest.(check int) "shard misses sum to aggregate"
+        (Cache_core.misses core) (sum "_misses"))
+
+let test_arc_ghost_lists_under_readahead () =
+  in_sim (fun m ->
+      let labmod =
+        Arc_cache.factory ~uuid:"arc2"
+          ~attrs:
+            [
+              ("capacity_mb", Yamlite.Int 1);
+              ("shards", Yamlite.Int 2);
+              ("readahead", Yamlite.Bool true);
+            ]
+      in
+      (* Sequential readahead traffic over 3x the cache, then a re-read
+         of a recent window to hit the ghost lists. *)
+      for lba = 0 to 767 do
+        ignore (drive m labmod (mk_req m (block Request.Read ~lba ~bytes:4096)))
+      done;
+      for lba = 700 to 767 do
+        ignore (drive m labmod (mk_req m (block Request.Read ~lba ~bytes:4096)))
+      done;
+      Alcotest.(check bool) "stream mostly hit" true (Arc_cache.hits labmod > 0);
+      let shards = Arc_cache.arc_shards labmod in
+      Alcotest.(check int) "one ARC per shard" 2 (Array.length shards);
+      Array.iteri
+        (fun i a ->
+          let cap = Arc_cache.Arc.capacity a in
+          let live = Arc_cache.Arc.live_count a in
+          let ghost = Arc_cache.Arc.ghost_count a in
+          let p = Arc_cache.Arc.p a in
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d: live %d <= cap %d" i live cap)
+            true (live <= cap);
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d: live+ghost %d <= 2*cap+1" i (live + ghost))
+            true
+            (live + ghost <= (2 * cap) + 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d: 0 <= p %d <= cap" i p)
+            true
+            (p >= 0 && p <= cap))
+        shards)
+
+(* ------------------------------------------------------------------ *)
+(* worker_max_inflight plumbing                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_config_worker_max_inflight () =
+  (match Lab_runtime.Run_config.parse "workers: 2\nworker_max_inflight: 4" with
+  | Ok c ->
+      Alcotest.(check int) "parsed" 4 c.Lab_runtime.Runtime.worker_max_inflight
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Lab_runtime.Run_config.parse "workers: 2" with
+  | Ok c ->
+      Alcotest.(check int) "default" 16
+        c.Lab_runtime.Runtime.worker_max_inflight
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let () =
+  Alcotest.run "cache_core"
+    [
+      ( "equivalence",
+        [ QCheck_alcotest.to_alcotest prop_single_shard_matches_model ] );
+      ( "readahead",
+        [
+          Alcotest.test_case "window ramp" `Quick test_readahead_ramp;
+          Alcotest.test_case "separate streams" `Quick
+            test_readahead_separate_streams;
+          Alcotest.test_case "faulted fill dropped" `Quick
+            test_faulted_prefetch_not_admitted;
+        ] );
+      ( "writeback",
+        [
+          Alcotest.test_case "coalesces adjacent" `Quick
+            test_writeback_coalesces_adjacent;
+        ] );
+      ( "sharded-mods",
+        [
+          Alcotest.test_case "lru shards=4" `Quick test_sharded_lru_mod;
+          Alcotest.test_case "arc ghost lists" `Quick
+            test_arc_ghost_lists_under_readahead;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "worker_max_inflight config" `Quick
+            test_run_config_worker_max_inflight;
+        ] );
+    ]
