@@ -29,6 +29,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "cache",
       "Sharded cache: readahead, coalesced write-back",
       Exp_cache.run );
+    ( "anatomy2",
+      "Latency anatomy measured from request-lifecycle spans",
+      Exp_anatomy2.run );
   ]
 
 let usage () =

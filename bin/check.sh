@@ -22,4 +22,14 @@ echo "== cache smoke (--smoke) =="
 dune exec bench/main.exe -- cache --smoke
 test -s BENCH_cache.json
 
+echo "== anatomy2 smoke (--smoke) =="
+# Asserts per-request stage/e2e reconciliation and zero overhead when
+# tracing is off; exits nonzero on violation.
+dune exec bench/main.exe -- anatomy2 --smoke
+test -s BENCH_anatomy.json
+
+echo "== labstor_cli metrics smoke =="
+dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
+test -s metrics.jsonl
+
 echo "check: OK"

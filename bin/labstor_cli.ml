@@ -17,6 +17,21 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* ---------------- shared report tables ---------------- *)
+
+(* Every inspection subcommand prints the same two shapes: a
+   "  label       k=v, k=v" counter row and a name-aligned value table. *)
+
+let counter_cells pairs =
+  String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) pairs)
+
+let print_counter_row ?(suffix = "") label pairs =
+  Printf.printf "  %-13s %s%s\n" label (counter_cells pairs) suffix
+
+let print_value_table rows =
+  let w = List.fold_left (fun acc (k, _) -> Stdlib.max acc (String.length k)) 0 rows in
+  List.iter (fun (k, v) -> Printf.printf "  %-*s  %s\n" w k v) rows
+
 (* ---------------- validate ---------------- *)
 
 let validate_cmd =
@@ -63,6 +78,15 @@ let validate_cmd =
 
 (* ---------------- run ---------------- *)
 
+let parse_run_config = function
+  | None -> Runtime.Runtime.default_config
+  | Some f -> (
+      match Runtime.Run_config.parse (read_file f) with
+      | Ok c -> c
+      | Error e ->
+          Printf.eprintf "config error: %s\n" e;
+          exit 1)
+
 let run_cmd =
   let stack_file =
     Arg.(required & opt (some file) None & info [ "stack" ] ~docv:"SPEC" ~doc:"LabStack YAML file")
@@ -74,16 +98,7 @@ let run_cmd =
   let bytes = Arg.(value & opt int 4096 & info [ "bytes" ] ~doc:"bytes per write") in
   let threads = Arg.(value & opt int 1 & info [ "threads" ] ~doc:"client threads") in
   let run stack_file config_file ops bytes threads =
-    let config =
-      match config_file with
-      | None -> Runtime.Runtime.default_config
-      | Some f -> (
-          match Runtime.Run_config.parse (read_file f) with
-          | Ok c -> c
-          | Error e ->
-              Printf.eprintf "config error: %s\n" e;
-              exit 1)
-    in
+    let config = parse_run_config config_file in
     let machine = Sim.Machine.create ~ncores:24 () in
     let nvme = Device.Device.create machine.Sim.Machine.engine Device.Profile.nvme in
     let backend = Mods.Mods_env.backend_of_device machine nvme in
@@ -227,17 +242,19 @@ let faults_cmd =
     Printf.printf "  failed        %d of %d surfaced to the application\n" !failed total;
     (match Platform.fault_plan platform Device.Profile.Nvme with
     | Some plan ->
-        Printf.printf "  injected      %s (total %d)\n"
-          (String.concat ", "
-             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (Sim.Fault.injected plan)))
-          (Sim.Fault.injected_total plan);
+        print_counter_row "injected"
+          ~suffix:(Printf.sprintf " (total %d)" (Sim.Fault.injected_total plan))
+          (Sim.Fault.injected plan);
         if trace then List.iter (fun l -> Printf.printf "    %s\n" l) (Sim.Fault.trace plan)
     | None -> ());
     let sum f = List.fold_left (fun acc c -> acc + f c) 0 !clients in
-    Printf.printf "  client policy retries=%d requeues=%d deadline_misses=%d exhausted=%d\n"
-      (sum Runtime.Client.retries) (sum Runtime.Client.requeues)
-      (sum Runtime.Client.deadline_misses)
-      (sum Runtime.Client.exhausted_retries)
+    print_counter_row "client policy"
+      [
+        ("retries", sum Runtime.Client.retries);
+        ("requeues", sum Runtime.Client.requeues);
+        ("deadline_misses", sum Runtime.Client.deadline_misses);
+        ("exhausted", sum Runtime.Client.exhausted_retries);
+      ]
   in
   Cmd.v
     (Cmd.info "faults"
@@ -352,17 +369,185 @@ let cache_cmd =
           else
             (Mods.Lru_cache.counter_list m, Mods.Lru_cache.shard_counter_list m)
         in
-        Printf.printf "  cache         %s\n"
-          (String.concat ", "
-             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters));
-        Printf.printf "  per-shard     %s\n"
-          (String.concat ", "
-             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) shard_counters)))
+        print_counter_row "cache" counters;
+        print_counter_row "per-shard" shard_counters)
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:"Drive sequential per-thread streams through a cache stack and report hit/readahead/write-back counters")
     Term.(const run $ policy $ capacity_mb $ shards $ readahead $ ops $ threads $ write_pct $ seed)
+
+(* ---------------- metrics / trace ---------------- *)
+
+(* Canned three-stage observability stack: cache -> merge scheduler ->
+   kernel driver, so the registry and tracer have every instrument
+   class to show. *)
+let obs_stack_spec =
+  {|
+mount: "blk::/obs"
+rules:
+  exec_mode: async
+dag:
+  - uuid: cache0
+    mod: lru_cache
+    attrs:
+      capacity_mb: 4
+      shards: 2
+    outputs: [sched0]
+  - uuid: sched0
+    mod: blkswitch_sched
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+
+(* Mixed 4 KiB workload (1-in-4 writes) over per-thread sequential
+   streams; enough to exercise cache hits/misses, merges, and the
+   device path. *)
+let drive_obs_workload platform ~ops ~threads =
+  (match Platform.mount platform obs_stack_spec with
+  | Ok _ -> ()
+  | Error e ->
+      Printf.eprintf "mount error: %s\n" e;
+      exit 1);
+  let machine = Platform.machine platform in
+  Platform.go platform (fun () ->
+      let finished = ref 0 in
+      Sim.Engine.suspend (fun resume ->
+          for th = 0 to threads - 1 do
+            Sim.Engine.spawn machine.Sim.Machine.engine (fun () ->
+                let c = Platform.client platform ~thread:th () in
+                let page = ref (th * 1_000_000) in
+                for i = 1 to ops do
+                  let lba = !page in
+                  incr page;
+                  if i mod 4 = 0 then
+                    ignore
+                      (Runtime.Client.write_block c ~stream:th
+                         ~mount:"blk::/obs" ~lba ~bytes:4096)
+                  else
+                    ignore
+                      (Runtime.Client.read_block c ~stream:th
+                         ~mount:"blk::/obs" ~lba ~bytes:4096)
+                done;
+                incr finished;
+                if !finished = threads then resume ())
+          done))
+
+let conf_pos =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"CONF"
+        ~doc:"Runtime configuration YAML (workers, trace_sample, trace_path, metrics_path)")
+
+let metrics_cmd =
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"metrics snapshot output path (overrides the config's metrics_path)")
+  in
+  let run conf ops threads seed out =
+    let cfg = parse_run_config conf in
+    let platform =
+      Platform.boot ~nworkers:cfg.Runtime.Runtime.nworkers ~seed
+        ~trace_sample:cfg.Runtime.Runtime.trace_sample ()
+    in
+    drive_obs_workload platform ~ops ~threads;
+    let fmt_value = function
+      | Obs.Metrics.V_counter n -> string_of_int n
+      | Obs.Metrics.V_gauge g -> Printf.sprintf "%.1f" g
+      | Obs.Metrics.V_histogram h ->
+          Printf.sprintf "count=%d p50=%.0f ns p99=%.0f ns p999=%.0f ns"
+            h.Obs.Metrics.hs_count h.Obs.Metrics.hs_p50 h.Obs.Metrics.hs_p99
+            h.Obs.Metrics.hs_p999
+    in
+    let rows =
+      List.map
+        (fun (k, v) -> (k, fmt_value v))
+        (Obs.Metrics.to_list (Platform.metrics platform))
+    in
+    Printf.printf "%d instruments after %d ops x %d threads:\n" (List.length rows)
+      ops threads;
+    print_value_table rows;
+    let path =
+      match out with
+      | Some p -> p
+      | None ->
+          Option.value cfg.Runtime.Runtime.metrics_path ~default:"metrics.jsonl"
+    in
+    Platform.export ~metrics_path:path platform;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Drive a canned cache/sched/driver stack and dump the unified metrics registry")
+    Term.(const run $ conf_pos $ ops $ threads $ seed $ out)
+
+let trace_cmd =
+  let ops = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 2 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let sample =
+    Arg.(value & opt int 0
+         & info [ "sample" ]
+             ~doc:"trace 1-in-N requests (overrides the config's trace_sample; defaults to 1)")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Chrome trace output path (overrides the config's trace_path)")
+  in
+  let run conf ops threads seed sample out =
+    let cfg = parse_run_config conf in
+    let sample =
+      if sample > 0 then sample
+      else if cfg.Runtime.Runtime.trace_sample > 0 then
+        cfg.Runtime.Runtime.trace_sample
+      else 1
+    in
+    let platform =
+      Platform.boot ~nworkers:cfg.Runtime.Runtime.nworkers ~seed
+        ~trace_sample:sample ()
+    in
+    drive_obs_workload platform ~ops ~threads;
+    let evs = Obs.Trace.events (Platform.tracer platform) in
+    let requests =
+      List.length (List.filter (fun e -> e.Obs.Trace.ev_cat = "request") evs)
+    in
+    Printf.printf "traced %d events from %d requests (1-in-%d sampling):\n"
+      (List.length evs) requests sample;
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let key = e.Obs.Trace.ev_cat ^ ":" ^ e.Obs.Trace.ev_name in
+        let c, d = Option.value (Hashtbl.find_opt tbl key) ~default:(0, 0.0) in
+        Hashtbl.replace tbl key (c + 1, d +. e.Obs.Trace.ev_dur))
+      evs;
+    let rows =
+      List.sort compare
+        (Hashtbl.fold
+           (fun key (c, d) acc ->
+             let mean = if c = 0 then 0.0 else d /. float_of_int c in
+             (key, Printf.sprintf "%5d  mean %.0f ns" c mean) :: acc)
+           tbl [])
+    in
+    print_value_table rows;
+    let path =
+      match out with
+      | Some p -> p
+      | None -> Option.value cfg.Runtime.Runtime.trace_path ~default:"trace.json"
+    in
+    Platform.export ~trace_path:path platform;
+    Printf.printf "wrote %s (load in Perfetto / chrome://tracing)\n" path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace sampled requests through a canned stack and export Chrome trace-event JSON")
+    Term.(const run $ conf_pos $ ops $ threads $ seed $ sample $ out)
 
 (* ---------------- mods ---------------- *)
 
@@ -389,4 +574,7 @@ let () =
     Cmd.info "labstor_cli" ~version:"1.0.0"
       ~doc:"LabStor platform utilities (simulated deployment)"
   in
-  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; faults_cmd; cache_cmd; mods_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ validate_cmd; run_cmd; faults_cmd; cache_cmd; metrics_cmd; trace_cmd; mods_cmd ]))

@@ -53,6 +53,9 @@ type t = {
   mutable prefetch : bool;
       (** speculative readahead fill issued by a cache, not a demand
           access — downstream caches must not re-trigger readahead on it *)
+  mutable trace : Lab_obs.Trace.flow option;
+      (** span-tracer context travelling with the request; [None] unless
+          the request id is sampled (see Lab_obs.Trace) *)
   submitted_at : float;
 }
 
@@ -69,6 +72,7 @@ let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
     hint_hctx = None;
     hint_stream = None;
     prefetch = false;
+    trace = None;
     submitted_at = now;
   }
 

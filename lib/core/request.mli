@@ -60,6 +60,13 @@ type t = {
   mutable prefetch : bool;
       (** speculative readahead fill issued by a cache, not a demand
           access — downstream caches must not re-trigger readahead on it *)
+  mutable trace : Lab_obs.Trace.flow option;
+      (** span-tracer context travelling with the request. [None] unless
+          tracing is on and the id is sampled; instrumentation sites
+          along the I/O path emit stage/module spans onto it. A request
+          derived from another by record copy inherits the flow; a
+          request synthesized with {!make} (merged op, journal flush)
+          starts untraced. *)
   submitted_at : float;
 }
 

@@ -5,6 +5,7 @@ type connection = { pid : Shmem.process_id; uid : int; region : Shmem.region_id 
 type 'req t = {
   engine : Engine.t;
   shm : Shmem.t;
+  metrics : Lab_obs.Metrics.t option;
   mutable next_qp_id : int;
   table : (int, 'req Qp.t) Hashtbl.t;
   mutable order : int list;  (* allocation order, newest first *)
@@ -19,10 +20,11 @@ let handshake_ns = 30_000.0
 
 let queue_region_bytes = 1 lsl 20
 
-let create engine =
+let create ?metrics engine =
   {
     engine;
     shm = Shmem.create ();
+    metrics;
     next_qp_id = 0;
     table = Hashtbl.create 64;
     order = [];
@@ -67,7 +69,7 @@ let credentials t ~pid = Hashtbl.find_opt t.creds pid
 let create_qp t conn ?sq_depth ?cq_depth ~role ~ordering () =
   let id = t.next_qp_id in
   t.next_qp_id <- id + 1;
-  let qp = Qp.create ?sq_depth ?cq_depth ~role ~ordering ~id () in
+  let qp = Qp.create ?metrics:t.metrics ?sq_depth ?cq_depth ~role ~ordering ~id () in
   Hashtbl.replace t.table id qp;
   Hashtbl.replace t.owners id conn.pid;
   t.order <- id :: t.order;

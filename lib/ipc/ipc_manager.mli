@@ -13,7 +13,10 @@ type connection = {
   region : Shmem.region_id;  (** region holding this client's primary queues *)
 }
 
-val create : Lab_sim.Engine.t -> 'req t
+val create : ?metrics:Lab_obs.Metrics.t -> Lab_sim.Engine.t -> 'req t
+(** [?metrics] is handed to every queue pair this manager allocates, so
+    their doorbell/stall counters appear in the registry under
+    ["ipc.qp<id>."]. *)
 
 val engine : 'req t -> Lab_sim.Engine.t
 

@@ -17,12 +17,17 @@ type 'a t = {
   cq_waiters : unit Waitq.t;  (* consumers blocked on an empty CQ *)
   sq_space : unit Waitq.t;  (* producers blocked on a full SQ *)
   cq_space : unit Waitq.t;  (* completers blocked on a full CQ *)
-  rings : Stats.Counter.c;
-  sq_stall_count : Stats.Counter.c;
-  cq_stall_count : Stats.Counter.c;
+  rings : Lab_obs.Metrics.counter;
+  sq_stall_count : Lab_obs.Metrics.counter;
+  cq_stall_count : Lab_obs.Metrics.counter;
 }
 
-let create ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
+(* Counters live in the metrics registry when one is supplied
+   ("ipc.qp<N>.doorbell_rings" etc.); otherwise they are detached and
+   only readable through the accessors below. *)
+let create ?metrics ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
+  let name k = Printf.sprintf "ipc.qp%d.%s" id k in
+  let counter k = Lab_obs.Metrics.counter ?reg:metrics (name k) in
   {
     qp_id = id;
     sq = Ring.create ~capacity:sq_depth;
@@ -34,9 +39,9 @@ let create ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
     cq_waiters = Waitq.create ();
     sq_space = Waitq.create ();
     cq_space = Waitq.create ();
-    rings = Stats.Counter.create ();
-    sq_stall_count = Stats.Counter.create ();
-    cq_stall_count = Stats.Counter.create ();
+    rings = counter "doorbell_rings";
+    sq_stall_count = counter "sq_stalls";
+    cq_stall_count = counter "cq_stalls";
   }
 
 let id t = t.qp_id
@@ -50,21 +55,21 @@ let mark t = t.qp_mark
 let set_mark t m = t.qp_mark <- m
 
 let ring_bell t =
-  Stats.Counter.incr t.rings;
+  Lab_obs.Metrics.incr t.rings;
   List.iter (fun w -> ignore (Waitq.wake w ())) t.bells
 
-let doorbell_rings t = Stats.Counter.value t.rings
+let doorbell_rings t = Lab_obs.Metrics.value t.rings
 
-let sq_stalls t = Stats.Counter.value t.sq_stall_count
+let sq_stalls t = Lab_obs.Metrics.value t.sq_stall_count
 
-let cq_stalls t = Stats.Counter.value t.cq_stall_count
+let cq_stalls t = Lab_obs.Metrics.value t.cq_stall_count
 
 (* Producers park on [sq_space] when the submission ring is full and are
    woken one-per-slot as the worker pops entries — no timed busy-retry.
    A woken producer may race another for the freed slot; FIFO park order
    bounds the re-park chain. *)
 let sq_park t =
-  Stats.Counter.incr t.sq_stall_count;
+  Lab_obs.Metrics.incr t.sq_stall_count;
   let slot = ref None in
   Waitq.park t.sq_space slot
 
@@ -139,7 +144,7 @@ let peek_sq t = Ring.peek t.sq
 let rec complete t v =
   if Ring.try_push t.cq v then ignore (Waitq.wake t.cq_waiters ())
   else begin
-    Stats.Counter.incr t.cq_stall_count;
+    Lab_obs.Metrics.incr t.cq_stall_count;
     let slot = ref None in
     Waitq.park t.cq_space slot;
     complete t v

@@ -21,7 +21,17 @@ type mark = Normal | Update_pending | Update_acked
 type 'a t
 
 val create :
-  ?sq_depth:int -> ?cq_depth:int -> role:role -> ordering:ordering -> id:int -> unit -> 'a t
+  ?metrics:Lab_obs.Metrics.t ->
+  ?sq_depth:int ->
+  ?cq_depth:int ->
+  role:role ->
+  ordering:ordering ->
+  id:int ->
+  unit ->
+  'a t
+(** [?metrics] attaches the queue pair's doorbell/stall counters to a
+    registry under ["ipc.qp<id>."]; without it the counters are still
+    maintained but only visible through the accessors below. *)
 
 val id : 'a t -> int
 

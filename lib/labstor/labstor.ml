@@ -14,9 +14,11 @@
       compression, schedulers, drivers)
     - {!Runtime}: workers, Work Orchestrator, client library
     - {!Workloads}: FIO / FxMark / Filebench / LABIOS / PFS generators
+    - {!Obs}: span tracer + metrics registry and their exporters
     - {!Platform}: one-call boot + mount + client entry point *)
 
 module Sim = Lab_sim
+module Obs = Lab_obs
 module Device = Lab_device
 module Ipc = Lab_ipc
 module Kernel = Lab_kernel

@@ -14,7 +14,8 @@ let backend_name kind = String.lowercase_ascii (Profile.kind_to_string kind)
 let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(devices = [ Profile.Nvme ]) ?default_device ?(seed = 0xC0FFEE)
     ?(workers_busy_poll = false) ?(worker_batch_size = 1)
-    ?(worker_max_inflight = 16) ?fault_rates ?fault_script () =
+    ?(worker_max_inflight = 16) ?fault_rates ?fault_script
+    ?(trace_sample = 0) ?trace_path ?metrics_path () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
@@ -47,6 +48,9 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       workers_busy_poll;
       worker_batch_size;
       worker_max_inflight;
+      trace_sample;
+      trace_path;
+      metrics_path;
     }
   in
   let rt =
@@ -54,8 +58,80 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       ~backends:(List.map (fun (k, b) -> (backend_name k, b)) backends)
       ~default_backend:(backend_name default_device) ()
   in
+  (* Device health is exposed as read-through gauges: the registry holds
+     a closure, so exports always see the device's current counters
+     without per-I/O bookkeeping on the data path. *)
+  let metrics = Lab_runtime.Runtime.metrics rt in
+  List.iter
+    (fun (k, d) ->
+      let pre s = Printf.sprintf "device.%s.%s" (backend_name k) s in
+      let gi name f =
+        Lab_obs.Metrics.gauge_fn metrics (pre name) (fun () ->
+            Stdlib.float_of_int (f d))
+      in
+      gi "completed_reads" Device.completed_reads;
+      gi "completed_writes" Device.completed_writes;
+      gi "errors" Device.completed_errors;
+      gi "bytes_read" Device.bytes_read;
+      gi "bytes_written" Device.bytes_written;
+      let gp name p =
+        Lab_obs.Metrics.gauge_fn metrics (pre name) (fun () ->
+            Lab_sim.Stats.percentile (Device.service_stats d) p)
+      in
+      gp "service_p50_ns" 50.0;
+      gp "service_p99_ns" 99.0;
+      match Device.fault_plan d with
+      | None -> ()
+      | Some f ->
+          Lab_obs.Metrics.gauge_fn metrics
+            (Printf.sprintf "fault.%s.injected_total" (backend_name k))
+            (fun () -> Stdlib.float_of_int (Lab_sim.Fault.injected_total f)))
+    devs;
   Lab_runtime.Runtime.start rt;
   { m; rt; devs; backends; next_pid = 1000 }
+
+let tracer t = Lab_runtime.Runtime.tracer t.rt
+
+let metrics t = Lab_runtime.Runtime.metrics t.rt
+
+(* Per-category fault injections only materialize as faults fire, so
+   they cannot be pre-registered as gauges; sync them into counters at
+   snapshot time instead. *)
+let sync_fault_counters t =
+  let reg = metrics t in
+  List.iter
+    (fun (k, d) ->
+      match Device.fault_plan d with
+      | None -> ()
+      | Some f ->
+          List.iter
+            (fun (nm, n) ->
+              let c =
+                Lab_obs.Metrics.counter ~reg
+                  (Printf.sprintf "fault.%s.%s" (backend_name k) nm)
+              in
+              Lab_obs.Metrics.set_value c n)
+            (Lab_sim.Fault.injected f))
+    t.devs
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let export ?trace_path ?metrics_path t =
+  let cfg = Lab_runtime.Runtime.config t.rt in
+  let pick override conf =
+    match override with Some _ -> override | None -> conf
+  in
+  (match pick trace_path cfg.Lab_runtime.Runtime.trace_path with
+  | Some p -> write_file p (Lab_obs.Trace.to_chrome_json (tracer t))
+  | None -> ());
+  match pick metrics_path cfg.Lab_runtime.Runtime.metrics_path with
+  | Some p ->
+      sync_fault_counters t;
+      write_file p (Lab_obs.Metrics.to_jsonl (metrics t))
+  | None -> ()
 
 let machine t = t.m
 

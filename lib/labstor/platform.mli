@@ -18,6 +18,9 @@ val boot :
   ?worker_max_inflight:int ->
   ?fault_rates:Lab_sim.Fault.rates ->
   ?fault_script:Lab_sim.Fault.event list ->
+  ?trace_sample:int ->
+  ?trace_path:string ->
+  ?metrics_path:string ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
@@ -30,7 +33,14 @@ val boot :
 
     If [fault_rates] or [fault_script] is given, every booted device
     gets a deterministic fault plan derived from [seed] (one independent
-    stream per device); otherwise devices are fault-free. *)
+    stream per device); otherwise devices are fault-free.
+
+    [trace_sample] (default 0 = off) traces every request whose id is a
+    multiple of N through the span tracer; [trace_path] and
+    [metrics_path] are where {!export} writes the Chrome trace-event
+    JSON and the JSONL metrics snapshot. Device counters and service
+    percentiles are registered as read-through gauges under
+    ["device.<backend>."]. *)
 
 val machine : t -> Lab_sim.Machine.t
 
@@ -40,8 +50,11 @@ val device : t -> Lab_device.Profile.kind -> Lab_device.Device.t
 (** @raise Not_found if the kind was not booted. *)
 
 val fault_plan : t -> Lab_device.Profile.kind -> Lab_sim.Fault.t option
-(** The device's installed fault plan (for trace/counter inspection);
-    [None] when booted without faults. *)
+(** The device's installed fault plan; [None] when booted without
+    faults. Per-category injection counts surface as
+    ["fault.<backend>.<category>"] counters in {!metrics} snapshots
+    (synced by {!export}); the live total is the
+    ["fault.<backend>.injected_total"] gauge. *)
 
 val backend : t -> Lab_device.Profile.kind -> Lab_mods.Mods_env.backend
 
@@ -68,3 +81,18 @@ val go : t -> (unit -> 'a) -> 'a
 
 val now : t -> float
 (** Virtual time, ns. *)
+
+val tracer : t -> Lab_obs.Trace.t
+(** The runtime's span tracer (shortcut for
+    [Lab_runtime.Runtime.tracer (runtime t)]). *)
+
+val metrics : t -> Lab_obs.Metrics.t
+(** The runtime's metrics registry, holding queue-pair, worker, module,
+    client, device and fault instruments. *)
+
+val export : ?trace_path:string -> ?metrics_path:string -> t -> unit
+(** Writes the observability artifacts: the Chrome trace-event JSON
+    (loadable in Perfetto / [chrome://tracing]) and the JSONL metrics
+    snapshot. Explicit arguments override the paths given to {!boot};
+    either file is skipped when no path is configured for it. Fault
+    counters are synced from the devices' fault plans first. *)

@@ -176,11 +176,13 @@ let est m req =
   ignore m;
   600.0 +. (0.35 *. Stdlib.float_of_int (Request.bytes_of req))
 
-let factory : Registry.factory =
+let factory ?metrics () : Registry.factory =
  fun ~uuid ~attrs ->
   let cfg = Cache_core.config_of_attrs ~name attrs in
   let acc = ref [] in
-  let core = Cache_core.create ~policy:(arc_policy acc) cfg in
+  let core =
+    Cache_core.create ~policy:(arc_policy acc) ?metrics ~instance:uuid cfg
+  in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Cache
     ~state:(State { core; arcs = Array.of_list (List.rev !acc) })
     {

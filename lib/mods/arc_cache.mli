@@ -15,8 +15,10 @@ open Lab_core
 
 val name : string
 
-val factory : Registry.factory
-(** Attributes (see {!Cache_core.config_of_attrs}): [capacity_mb]
+val factory : ?metrics:Lab_obs.Metrics.t -> unit -> Registry.factory
+(** [?metrics] registers the cache counters under ["mod.<uuid>."].
+
+    Attributes (see {!Cache_core.config_of_attrs}): [capacity_mb]
     (default 64), [write_through] (false), [shards] (1), [readahead]
     (false), [ra_min_pages] (4), [ra_max_pages] (64), [wb_high] (32),
     [wb_low] (8), [wb_max_batch] (64). The ARC policy runs per shard,

@@ -12,6 +12,7 @@
 
 open Lab_sim
 open Lab_core
+module Metrics = Lab_obs.Metrics
 
 (* One request that joined an open batch behind its leader. [m_off] is
    its byte offset inside the merged transfer — the torn-write split
@@ -42,8 +43,9 @@ type Labmod.state +=
           (** per hardware queue, every batch currently holding its
               merge window open — concurrent contiguous runs each plug
               independently *)
-      merged_ops : int ref;  (** merged device ops dispatched *)
-      absorbed_reqs : int ref;  (** follower requests absorbed into them *)
+      merged_ops : Metrics.counter;  (** merged device ops dispatched *)
+      absorbed_reqs : Metrics.counter;
+          (** follower requests absorbed into them *)
     }
 
 let name = "blkswitch_sched"
@@ -117,8 +119,15 @@ let lead ctx ~open_batches ~merged_ops ~absorbed_reqs ~merge_window_ns ~q req b
   match List.rev batch.bt_members with
   | [] -> ctx.Labmod.forward req
   | followers ->
-      incr merged_ops;
-      absorbed_reqs := !absorbed_reqs + List.length followers;
+      Metrics.incr merged_ops;
+      Metrics.incr ~by:(List.length followers) absorbed_reqs;
+      (match req.Request.trace with
+      | Some fl ->
+          Lab_obs.Trace.instant fl ~name:"sched_merge" ~tid:ctx.Labmod.thread
+            ~now:(Machine.now ctx.Labmod.machine)
+            ~args:
+              [ ("absorbed", string_of_int (List.length followers)) ]
+      | None -> ());
       let merged =
         Request.make ~id:req.Request.id ~pid:req.Request.pid
           ~uid:req.Request.uid ~thread:req.Request.thread
@@ -223,6 +232,12 @@ let operate m ctx req =
           | Some (q, batch) ->
               req.Request.hint_hctx <- Some q;
               inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
+              (match req.Request.trace with
+              | Some fl ->
+                  Lab_obs.Trace.instant fl ~name:"sched_join"
+                    ~tid:ctx.Labmod.thread
+                    ~now:(Machine.now ctx.Labmod.machine)
+              | None -> ());
               finish q (join batch b)
           | None ->
               let q = steer () in
@@ -232,15 +247,20 @@ let operate m ctx req =
   | _ -> Request.Failed "blkswitch_sched: bad state"
 
 let merged_ops (m : Labmod.t) =
-  match m.Labmod.state with State { merged_ops; _ } -> !merged_ops | _ -> 0
+  match m.Labmod.state with
+  | State { merged_ops; _ } -> Metrics.value merged_ops
+  | _ -> 0
 
 let absorbed_reqs (m : Labmod.t) =
   match m.Labmod.state with
-  | State { absorbed_reqs; _ } -> !absorbed_reqs
+  | State { absorbed_reqs; _ } -> Metrics.value absorbed_reqs
   | _ -> 0
 
-let factory ~nqueues : Registry.factory =
+let factory ?metrics ~nqueues () : Registry.factory =
  fun ~uuid ~attrs ->
+  (* Probe instantiations (reserved "__probe__" uuid) must not pollute
+     the registry. *)
+  let metrics = if uuid = "__probe__" then None else metrics in
   let getf key default =
     Option.value ~default (Option.bind (List.assoc_opt key attrs) Yamlite.get_float)
   in
@@ -256,8 +276,12 @@ let factory ~nqueues : Registry.factory =
            max_merge_bytes = geti "max_merge_bytes" 262144;
            max_merge_reqs = geti "max_merge_reqs" 64;
            open_batches = Hashtbl.create 8;
-           merged_ops = ref 0;
-           absorbed_reqs = ref 0;
+           merged_ops =
+             Metrics.counter ?reg:metrics
+               (Printf.sprintf "mod.%s.merged_ops" uuid);
+           absorbed_reqs =
+             Metrics.counter ?reg:metrics
+               (Printf.sprintf "mod.%s.absorbed_reqs" uuid);
          })
     {
       Labmod.operate;

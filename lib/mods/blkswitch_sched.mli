@@ -29,4 +29,5 @@ val merged_ops : Labmod.t -> int
 val absorbed_reqs : Labmod.t -> int
 (** Requests absorbed into merged ops as followers (excludes leaders). *)
 
-val factory : nqueues:int -> Registry.factory
+val factory : ?metrics:Lab_obs.Metrics.t -> nqueues:int -> unit -> Registry.factory
+(** [?metrics] registers the merge counters under ["mod.<uuid>."]. *)

@@ -6,6 +6,7 @@
 
 open Lab_sim
 open Lab_core
+module Metrics = Lab_obs.Metrics
 
 (* ------------------------------------------------------------------ *)
 (* Policy                                                              *)
@@ -109,18 +110,29 @@ type t = {
   shards : shard array;
   streams : (int, stream) Hashtbl.t;
   ra_inflight : (int, unit Waitq.t) Hashtbl.t;  (* page -> fill arrival *)
-  mutable hit_count : int;
-  mutable miss_count : int;
-  mutable wb_failures : int;
-  mutable ra_issued : int;
-  mutable ra_hits : int;
-  mutable ra_wasted : int;
-  mutable dirty_evicted : int;
-  mutable flush_op_count : int;
-  mutable flush_page_count : int;
+  hit_count : Metrics.counter;
+  miss_count : Metrics.counter;
+  wb_failures : Metrics.counter;
+  ra_issued : Metrics.counter;
+  ra_hits : Metrics.counter;
+  ra_wasted : Metrics.counter;
+  dirty_evicted : Metrics.counter;
+  flush_op_count : Metrics.counter;
+  flush_page_count : Metrics.counter;
 }
 
-let create ~policy cfg =
+(* [?metrics] attaches the engine's counters to a registry under
+   "mod.<instance>." ([?instance] defaults to the config name, which is
+   the wrapping LabMod's module name — pass the uuid for per-instance
+   metrics). Detached counters otherwise; behaviour is identical. *)
+let create ~policy ?metrics ?instance cfg =
+  let inst = Option.value instance ~default:cfg.cfg_name in
+  (* Probe instantiations (stack validation, `labstor_cli mods`) use the
+     reserved "__probe__" uuid and must not pollute the registry. *)
+  let metrics = if inst = "__probe__" then None else metrics in
+  let counter k =
+    Metrics.counter ?reg:metrics (Printf.sprintf "mod.%s.%s" inst k)
+  in
   let per_shard =
     Stdlib.max 1 ((cfg.capacity_pages + cfg.nshards - 1) / cfg.nshards)
   in
@@ -141,15 +153,15 @@ let create ~policy cfg =
           });
     streams = Hashtbl.create 16;
     ra_inflight = Hashtbl.create 64;
-    hit_count = 0;
-    miss_count = 0;
-    wb_failures = 0;
-    ra_issued = 0;
-    ra_hits = 0;
-    ra_wasted = 0;
-    dirty_evicted = 0;
-    flush_op_count = 0;
-    flush_page_count = 0;
+    hit_count = counter "hits";
+    miss_count = counter "misses";
+    wb_failures = counter "writeback_failures";
+    ra_issued = counter "readahead_issued";
+    ra_hits = counter "readahead_hits";
+    ra_wasted = counter "readahead_wasted";
+    dirty_evicted = counter "dirty_evictions";
+    flush_op_count = counter "flush_ops";
+    flush_page_count = counter "flush_pages";
   }
 
 (* ------------------------------------------------------------------ *)
@@ -203,20 +215,20 @@ let note_evictions t sh =
     (fun v ->
       if Hashtbl.mem sh.prefetched v then begin
         Hashtbl.remove sh.prefetched v;
-        t.ra_wasted <- t.ra_wasted + 1
+        Metrics.incr t.ra_wasted
       end;
       if Hashtbl.mem sh.dirty v then begin
         Hashtbl.remove sh.dirty v;
         Queue.add v sh.dirty_log;
         sh.sh_evictions <- sh.sh_evictions + 1;
-        t.dirty_evicted <- t.dirty_evicted + 1
+        Metrics.incr t.dirty_evicted
       end)
     (sh.pol.pol_evicted ())
 
 let consume_prefetched t sh ~demand_read p =
   if Hashtbl.mem sh.prefetched p then begin
     Hashtbl.remove sh.prefetched p;
-    if demand_read then t.ra_hits <- t.ra_hits + 1
+    if demand_read then Metrics.incr t.ra_hits
   end
 
 (* Merge sorted distinct pages into (start, length) runs of adjacent
@@ -235,15 +247,27 @@ let runs_of_pages pages ~max_batch =
       in
       List.rev (last :: runs)
 
+(* Cache-internal I/O (readahead fills, write-back) is not part of any
+   client request's critical path: it must not inherit the template's
+   trace flow, or its module/device spans would be mis-attributed. *)
 let derived_block template op =
   let io = { template with Request.payload = Request.Block op } in
   io.Request.hint_stream <- None;
   io.Request.prefetch <- false;
+  io.Request.trace <- None;
   io
 
+(* Point event on the traced request's timeline (hit/miss markers). *)
+let trace_instant ctx (req : Request.t) name =
+  match req.Request.trace with
+  | Some fl ->
+      Lab_obs.Trace.instant fl ~name ~tid:ctx.Labmod.thread
+        ~now:(Machine.now ctx.Labmod.machine)
+  | None -> ()
+
 let write_back_run t ctx ~template (start_page, len) =
-  t.flush_op_count <- t.flush_op_count + 1;
-  t.flush_page_count <- t.flush_page_count + len;
+  Metrics.incr t.flush_op_count;
+  Metrics.incr ~by:len t.flush_page_count;
   let io =
     derived_block template
       {
@@ -254,7 +278,7 @@ let write_back_run t ctx ~template (start_page, len) =
       }
   in
   ctx.Labmod.forward_async io (fun r ->
-      if not (Request.is_ok r) then t.wb_failures <- t.wb_failures + len)
+      if not (Request.is_ok r) then Metrics.incr ~by:len t.wb_failures)
 
 (* Flush the shard's dirty log down to [target] entries: pop, sort,
    dedup (a page can be evicted twice between flushes), merge into
@@ -310,7 +334,7 @@ let issue_readahead t ctx ~template ~start ~count =
       List.iter
         (fun p -> Hashtbl.replace t.ra_inflight p (Waitq.create ()))
         run_pages;
-      t.ra_issued <- t.ra_issued + len;
+      Metrics.incr ~by:len t.ra_issued;
       let io =
         derived_block template
           {
@@ -336,7 +360,7 @@ let issue_readahead t ctx ~template ~start ~count =
                     note_evictions t sh);
                 maybe_flush t ctx sh ~template
               end
-              else t.ra_wasted <- t.ra_wasted + 1;
+              else Metrics.incr t.ra_wasted;
               (* Wake demand readers only after the page is admitted
                  (or definitively dropped), so their residency re-check
                  sees the outcome. *)
@@ -469,8 +493,9 @@ let operate t ctx req =
             Request.Size b_bytes
           in
           let demand_miss () =
-            t.miss_count <- t.miss_count + 1;
+            Metrics.incr t.miss_count;
             home.sh_misses <- home.sh_misses + 1;
+            trace_instant ctx req "cache_miss";
             let result = ctx.Labmod.forward req in
             (* Never admit a page whose fill failed: a faulted read left
                no data to cache, and admitting it would serve garbage on
@@ -483,8 +508,9 @@ let operate t ctx req =
           in
           let result =
             if resident_under_locks () then begin
-              t.hit_count <- t.hit_count + 1;
+              Metrics.incr t.hit_count;
               home.sh_hits <- home.sh_hits + 1;
+              trace_instant ctx req "cache_hit";
               serve_hit ()
             end
             else begin
@@ -505,8 +531,9 @@ let operate t ctx req =
                 then begin
                   (* The fill arrived: served from cache after a short
                      wait, like Linux waiting on a locked page. *)
-                  t.hit_count <- t.hit_count + 1;
+                  Metrics.incr t.hit_count;
                   home.sh_hits <- home.sh_hits + 1;
+                  trace_instant ctx req "cache_hit";
                   serve_hit ()
                 end
                 else demand_miss () (* fill faulted or already evicted *)
@@ -529,33 +556,33 @@ let operate t ctx req =
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let hits t = t.hit_count
+let hits t = Metrics.value t.hit_count
 
-let misses t = t.miss_count
+let misses t = Metrics.value t.miss_count
 
-let writeback_failures t = t.wb_failures
+let writeback_failures t = Metrics.value t.wb_failures
 
-let readahead_issued t = t.ra_issued
+let readahead_issued t = Metrics.value t.ra_issued
 
-let readahead_hits t = t.ra_hits
+let readahead_hits t = Metrics.value t.ra_hits
 
-let readahead_wasted t = t.ra_wasted
+let readahead_wasted t = Metrics.value t.ra_wasted
 
-let dirty_evictions t = t.dirty_evicted
+let dirty_evictions t = Metrics.value t.dirty_evicted
 
-let flush_ops t = t.flush_op_count
+let flush_ops t = Metrics.value t.flush_op_count
 
-let flush_pages t = t.flush_page_count
+let flush_pages t = Metrics.value t.flush_page_count
 
 let readahead_accuracy t =
-  if t.ra_issued = 0 then 0.0
-  else Stdlib.float_of_int t.ra_hits /. Stdlib.float_of_int t.ra_issued
+  if readahead_issued t = 0 then 0.0
+  else
+    Stdlib.float_of_int (readahead_hits t)
+    /. Stdlib.float_of_int (readahead_issued t)
 
 let avg_flush_batch t =
-  if t.flush_op_count = 0 then 0.0
-  else
-    Stdlib.float_of_int t.flush_page_count
-    /. Stdlib.float_of_int t.flush_op_count
+  if flush_ops t = 0 then 0.0
+  else Stdlib.float_of_int (flush_pages t) /. Stdlib.float_of_int (flush_ops t)
 
 let nshards t = t.cfg.nshards
 
@@ -573,15 +600,15 @@ let dirty_backlog t =
 
 let counter_list t =
   [
-    ("hits", t.hit_count);
-    ("misses", t.miss_count);
-    ("writeback_failures", t.wb_failures);
-    ("readahead_issued", t.ra_issued);
-    ("readahead_hits", t.ra_hits);
-    ("readahead_wasted", t.ra_wasted);
-    ("dirty_evictions", t.dirty_evicted);
-    ("flush_ops", t.flush_op_count);
-    ("flush_pages", t.flush_page_count);
+    ("hits", hits t);
+    ("misses", misses t);
+    ("writeback_failures", writeback_failures t);
+    ("readahead_issued", readahead_issued t);
+    ("readahead_hits", readahead_hits t);
+    ("readahead_wasted", readahead_wasted t);
+    ("dirty_evictions", dirty_evictions t);
+    ("flush_ops", flush_ops t);
+    ("flush_pages", flush_pages t);
   ]
 
 let shard_counter_list t =

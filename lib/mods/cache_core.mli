@@ -77,7 +77,14 @@ val config_of_attrs : name:string -> (string * Yamlite.t) list -> config
 
 type t
 
-val create : policy:policy_factory -> config -> t
+val create :
+  policy:policy_factory ->
+  ?metrics:Lab_obs.Metrics.t ->
+  ?instance:string ->
+  config -> t
+(** [?metrics] registers the engine's counters under
+    ["mod.<instance>."] ([?instance] defaults to the config name);
+    without it the counters are detached but behave identically. *)
 
 val operate : t -> Labmod.ctx -> Request.t -> Request.result
 

@@ -30,7 +30,18 @@ let operate m ctx req =
       (* The poller notices the completion entry. *)
       Engine.wait machine.Machine.costs.Costs.poll_spin_ns;
       (match outcome with
-      | Ok _ -> Request.Size b_bytes
+      | Ok c ->
+          (* The device kept exact service timestamps; attach them to
+             the request's trace so the anatomy breakdown can separate
+             device time from driver software time. *)
+          (match req.Request.trace with
+          | Some fl ->
+              Lab_obs.Trace.span fl ~name:"device" ~cat:"device"
+                ~tid:ctx.Labmod.thread
+                ~t0:c.Lab_device.Device.c_submitted
+                ~t1:c.Lab_device.Device.c_completed
+          | None -> ());
+          Request.Size b_bytes
       | Error e -> Mod_util.device_error name e)
   | _ -> Request.Failed "kernel_driver: expects block requests"
 

@@ -20,7 +20,8 @@ open Lab_core
 
 val name : string
 
-val factory : Registry.factory
+val factory : ?metrics:Lab_obs.Metrics.t -> unit -> Registry.factory
+(** [?metrics] registers the cache counters under ["mod.<uuid>."]. *)
 
 val core : Labmod.t -> Cache_core.t option
 (** The underlying engine, for counter inspection. *)

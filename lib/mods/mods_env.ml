@@ -6,7 +6,7 @@ type backend = { blk : Lab_kernel.Blk.t; device : Device.t }
 let backend_of_device machine device =
   { blk = Lab_kernel.Blk.create machine device ~sched:Lab_kernel.Blk.Noop; device }
 
-let install registry ~machine ~backends ~default_backend ~nworkers =
+let install ?metrics registry ~machine ~backends ~default_backend ~nworkers =
   ignore machine;
   let default =
     match List.assoc_opt default_backend backends with
@@ -26,12 +26,12 @@ let install registry ~machine ~backends ~default_backend ~nworkers =
   let total_blocks blk = Profile.blocks (Device.profile (Lab_kernel.Blk.device blk)) in
   reg "labfs" (Labfs.factory ~total_blocks:(total_blocks default.blk) ~nworkers ());
   reg "labkvs" (Labkvs.factory ~total_blocks:(total_blocks default.blk) ~nworkers ());
-  reg "lru_cache" Lru_cache.factory;
-  reg "arc_cache" Arc_cache.factory;
+  reg "lru_cache" (Lru_cache.factory ?metrics ());
+  reg "arc_cache" (Arc_cache.factory ?metrics ());
   reg "permissions" Permissions.factory;
   reg "compress" Compress_mod.factory;
   reg "consistency" Consistency_mod.factory;
   let nqueues = Device.n_hw_queues default.device in
   reg "noop_sched" (Noop_sched.factory ~nqueues);
-  reg "blkswitch_sched" (Blkswitch_sched.factory ~nqueues);
+  reg "blkswitch_sched" (Blkswitch_sched.factory ?metrics ~nqueues ());
   reg "dummy" (Dummy_mod.factory ())

@@ -13,13 +13,18 @@ val backend_of_device : Lab_sim.Machine.t -> Lab_device.Device.t -> backend
 (** Wraps a device with a pass-through block layer (Noop steering). *)
 
 val install :
+  ?metrics:Lab_obs.Metrics.t ->
   Registry.t ->
   machine:Lab_sim.Machine.t ->
   backends:(string * backend) list ->
   default_backend:string ->
   nworkers:int ->
   unit
-(** Registers: [labfs], [labkvs], [lru_cache], [permissions],
+(** [?metrics] is threaded to the cache and scheduler factories so
+    every instance they build registers its counters (under
+    ["mod.<uuid>."]) in that registry.
+
+    Registers: [labfs], [labkvs], [lru_cache], [permissions],
     [compress], [noop_sched], [blkswitch_sched], [dummy], plus
     per-backend drivers named [kernel_driver:<backend>],
     [spdk:<backend>] (polling devices only) and [dax:<backend>]

@@ -1,0 +1,229 @@
+(* Unified metrics registry.
+
+   A registry is a flat tree of named instruments; dotted names give the
+   hierarchy ("ipc.qp3.doorbell_rings", "device.nvme.bytes_read").
+   Three instrument kinds:
+
+   - counters   : monotonically increasing ints, owned by the producer.
+   - gauges     : read-through callbacks sampled at export time, for
+                  values some other struct already maintains.
+   - histograms : fixed log2-bucketed distributions with p50/p99/p999.
+
+   Instruments are plain mutable records; a counter handle works even
+   when it is not attached to any registry (a "detached" counter), so
+   library code can keep one code path whether or not observability is
+   wired up.  Nothing in here touches simulated time: recording is a
+   few machine operations, and exporting only reads. *)
+
+type counter = { mutable c : int }
+
+let nbuckets = 64
+
+type histogram = {
+  buckets : int array; (* bucket i counts values v with 2^(i-1) < v <= 2^i *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of (unit -> float)
+  | Histogram of histogram
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let intern t name make get =
+  match Hashtbl.find_opt t.tbl name with
+  | Some inst -> (
+      match get inst with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name inst)))
+  | None ->
+      let v, inst = make () in
+      Hashtbl.replace t.tbl name inst;
+      v
+
+(* --- counters ----------------------------------------------------- *)
+
+let counter ?reg name =
+  match reg with
+  | None -> { c = 0 }
+  | Some t ->
+      intern t name
+        (fun () ->
+          let c = { c = 0 } in
+          (c, Counter c))
+        (function Counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let value c = c.c
+let set_value c v = c.c <- v
+let reset c = c.c <- 0
+
+(* --- gauges ------------------------------------------------------- *)
+
+let gauge_fn t name f = Hashtbl.replace t.tbl name (Gauge f)
+
+(* --- histograms --------------------------------------------------- *)
+
+let histogram ?reg name =
+  let make () = { buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0.0 } in
+  match reg with
+  | None -> make ()
+  | Some t ->
+      intern t name
+        (fun () ->
+          let h = make () in
+          (h, Histogram h))
+        (function Histogram h -> Some h | _ -> None)
+
+(* Bucket index for [v]: 0 holds everything <= 1 (and non-positive /
+   non-finite junk), bucket i holds (2^(i-1), 2^i].  frexp gives
+   v = m * 2^e with m in [0.5, 1), so e is exactly ceil(log2 v) for
+   v > 0 unless v is a power of two, where m = 0.5 and e is one high —
+   acceptable: buckets stay monotone and deterministic, which is all
+   quantile estimation needs. *)
+let bucket_of v =
+  if not (Float.is_finite v) || v <= 1.0 then 0
+  else
+    let _, e = Float.frexp v in
+    if e < 0 then 0 else if e >= nbuckets then nbuckets - 1 else e
+
+let observe h v =
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let bucket_upper i = Float.of_int (1 lsl i)
+
+(* Nearest-rank quantile over the bucketed distribution; returns the
+   upper bound of the bucket containing the rank, so the estimate is
+   within one log2 bucket (<= 2x) of the true value. *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let cum = ref 0 and ans = ref (bucket_upper (nbuckets - 1)) in
+    (try
+       for i = 0 to nbuckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           ans := bucket_upper i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !ans
+  end
+
+let p50 h = quantile h 0.50
+let p99 h = quantile h 0.99
+let p999 h = quantile h 0.999
+
+(* --- export ------------------------------------------------------- *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_p50 : float;
+  hs_p99 : float;
+  hs_p999 : float;
+  hs_buckets : (float * int) list; (* (upper bound, count), non-empty only *)
+}
+
+type value =
+  | V_counter of int
+  | V_gauge of float
+  | V_histogram of hist_snapshot
+
+let snapshot_hist h =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (bucket_upper i, h.buckets.(i)) :: !buckets
+  done;
+  {
+    hs_count = h.h_count;
+    hs_sum = h.h_sum;
+    hs_p50 = p50 h;
+    hs_p99 = p99 h;
+    hs_p999 = p999 h;
+    hs_buckets = !buckets;
+  }
+
+let to_list t =
+  Hashtbl.fold
+    (fun name inst acc ->
+      let v =
+        match inst with
+        | Counter c -> V_counter c.c
+        | Gauge f -> V_gauge (f ())
+        | Histogram h -> V_histogram (snapshot_hist h)
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* JSON-safe float: finite, fixed format so exports are byte-stable. *)
+let jfloat f =
+  let f = if Float.is_finite f then f else 0.0 in
+  Printf.sprintf "%.6f" f
+
+let jstring s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* One JSON object per line: a snapshot greppable with standard
+   line-oriented tools and append-friendly across runs. *)
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let body =
+        match v with
+        | V_counter n -> Printf.sprintf {|"type":"counter","value":%d|} n
+        | V_gauge f -> Printf.sprintf {|"type":"gauge","value":%s|} (jfloat f)
+        | V_histogram h ->
+            let buckets =
+              h.hs_buckets
+              |> List.map (fun (le, n) -> Printf.sprintf "[%s,%d]" (jfloat le) n)
+              |> String.concat ","
+            in
+            Printf.sprintf
+              {|"type":"histogram","count":%d,"sum":%s,"p50":%s,"p99":%s,"p999":%s,"buckets":[%s]|}
+              h.hs_count (jfloat h.hs_sum) (jfloat h.hs_p50) (jfloat h.hs_p99)
+              (jfloat h.hs_p999) buckets
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%s,%s}\n" (jstring name) body))
+    (to_list t);
+  Buffer.contents buf
+
+let clear t = Hashtbl.reset t.tbl

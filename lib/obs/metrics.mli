@@ -1,0 +1,80 @@
+(** Unified metrics registry: named counters, gauges and log-bucketed
+    histograms that every subsystem registers into, replacing bespoke
+    per-module counter structs with one queryable tree.
+
+    Dotted names express the hierarchy ("ipc.qp3.doorbell_rings",
+    "mod.lru.hits", "device.nvme.bytes_read").  Recording never touches
+    simulated time — instruments are plain mutable records — so wiring
+    metrics into a component cannot perturb a deterministic run. *)
+
+type t
+(** A registry: a flat map from dotted name to instrument. *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+(** Monotonic integer counter.  A counter handle obtained without a
+    registry ([counter "x"]) is "detached": it records normally but is
+    invisible to export — this lets library code instrument
+    unconditionally. *)
+
+val counter : ?reg:t -> string -> counter
+(** [counter ~reg name] interns (get-or-creates) the named counter in
+    [reg]; without [~reg] it returns a fresh detached counter.
+    @raise Invalid_argument if [name] exists with a different kind. *)
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+val set_value : counter -> int -> unit
+val reset : counter -> unit
+
+(** {1 Gauges} *)
+
+val gauge_fn : t -> string -> (unit -> float) -> unit
+(** [gauge_fn reg name f] registers a read-through gauge: [f] is called
+    at export time.  Re-registering a name replaces the callback. *)
+
+(** {1 Histograms} *)
+
+type histogram
+(** Fixed log2-bucketed distribution (64 buckets; bucket [i] holds
+    values in [(2^(i-1), 2^i]]).  Quantiles report the upper bound of
+    the rank's bucket, i.e. within one power of two. *)
+
+val histogram : ?reg:t -> string -> histogram
+(** Interned like {!counter}; detached without [~reg]. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]; 0.0 when empty. *)
+
+val p50 : histogram -> float
+val p99 : histogram -> float
+val p999 : histogram -> float
+
+(** {1 Export} *)
+
+type hist_snapshot = {
+  hs_count : int;
+  hs_sum : float;
+  hs_p50 : float;
+  hs_p99 : float;
+  hs_p999 : float;
+  hs_buckets : (float * int) list;  (** (bucket upper bound, count) *)
+}
+
+type value = V_counter of int | V_gauge of float | V_histogram of hist_snapshot
+
+val to_list : t -> (string * value) list
+(** Snapshot of every instrument, sorted by name (deterministic). *)
+
+val to_jsonl : t -> string
+(** One JSON object per line, sorted by name; floats are fixed-format
+    and non-finite values are clamped to 0, so equal registry states
+    export byte-identical snapshots. *)
+
+val clear : t -> unit

@@ -1,0 +1,157 @@
+(* Span tracer over simulated time.
+
+   A tracer collects Chrome-trace-event-style spans ("X" complete
+   events) and instants ("i") stamped with simulated-time nanoseconds.
+   Each traced request carries a [flow]: a tiny handle holding the
+   request id, the root begin timestamp, and at most one currently-open
+   stage.  Stages telescope — submit / queue_wait / dispatch /
+   module_stack / complete / reap — closing one and opening the next at
+   the same instant, so per-request stage durations sum exactly to the
+   root "request" span.
+
+   Sampling is deterministic: request [id] is traced iff
+   [sample > 0 && id mod sample = 0].  With [sample = 0] the per-request
+   cost is a single option check ([Request.trace] stays [None]), and the
+   tracer never schedules events or charges simulated time, so enabling
+   or disabling it cannot change a run's timing or event count. *)
+
+type ev = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char; (* 'X' complete span | 'i' instant *)
+  ev_ts : float; (* begin, simulated ns *)
+  ev_dur : float; (* duration ns; 0 for instants *)
+  ev_tid : int; (* simulated hardware thread *)
+  ev_id : int; (* request id *)
+  ev_args : (string * string) list;
+}
+
+type t = {
+  sample : int;
+  mutable rev_events : ev list;
+  mutable count : int;
+}
+
+type flow = {
+  fl_tr : t;
+  fl_id : int;
+  fl_t0 : float;
+  mutable fl_open : (string * float) option;
+}
+
+let create ?(sample = 0) () = { sample; rev_events = []; count = 0 }
+let sample t = t.sample
+let enabled t = t.sample > 0
+let sampled t ~id = t.sample > 0 && id mod t.sample = 0
+
+let emit tr ev =
+  tr.rev_events <- ev :: tr.rev_events;
+  tr.count <- tr.count + 1
+
+let start t ~id ~now =
+  if sampled t ~id then Some { fl_tr = t; fl_id = id; fl_t0 = now; fl_open = None }
+  else None
+
+let flow_id fl = fl.fl_id
+let flow_t0 fl = fl.fl_t0
+
+let span ?(args = []) fl ~name ~cat ~tid ~t0 ~t1 =
+  emit fl.fl_tr
+    {
+      ev_name = name;
+      ev_cat = cat;
+      ev_ph = 'X';
+      ev_ts = t0;
+      ev_dur = (if t1 > t0 then t1 -. t0 else 0.0);
+      ev_tid = tid;
+      ev_id = fl.fl_id;
+      ev_args = args;
+    }
+
+let instant ?(args = []) fl ~name ~tid ~now =
+  emit fl.fl_tr
+    {
+      ev_name = name;
+      ev_cat = "event";
+      ev_ph = 'i';
+      ev_ts = now;
+      ev_dur = 0.0;
+      ev_tid = tid;
+      ev_id = fl.fl_id;
+      ev_args = args;
+    }
+
+let open_stage fl ~name ~now = fl.fl_open <- Some (name, now)
+
+let close_stage fl ~tid ~now =
+  match fl.fl_open with
+  | None -> ()
+  | Some (name, t0) ->
+      fl.fl_open <- None;
+      span fl ~name ~cat:"stage" ~tid ~t0 ~t1:now
+
+let finish fl ~tid ~now =
+  close_stage fl ~tid ~now;
+  span fl ~name:"request" ~cat:"request" ~tid ~t0:fl.fl_t0 ~t1:now
+
+let events t = List.rev t.rev_events
+let event_count t = t.count
+
+let clear t =
+  t.rev_events <- [];
+  t.count <- 0
+
+(* --- Chrome trace-event JSON -------------------------------------- *)
+
+let jstring s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Chrome timestamps are microseconds; "%.3f" keeps ns resolution with
+   a fixed format so equal traces serialize byte-identically. *)
+let us ns = Printf.sprintf "%.3f" (ns /. 1e3)
+
+let event_json b ev =
+  Buffer.add_string b
+    (Printf.sprintf
+       {|{"name":%s,"cat":%s,"ph":"%c","ts":%s,"pid":1,"tid":%d|}
+       (jstring ev.ev_name) (jstring ev.ev_cat) ev.ev_ph (us ev.ev_ts)
+       ev.ev_tid);
+  if ev.ev_ph = 'X' then Buffer.add_string b (Printf.sprintf {|,"dur":%s|} (us ev.ev_dur));
+  if ev.ev_ph = 'i' then Buffer.add_string b {|,"s":"t"|};
+  let args = ("req", string_of_int ev.ev_id) :: ev.ev_args in
+  Buffer.add_string b ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (jstring k);
+      Buffer.add_char b ':';
+      Buffer.add_string b (jstring v))
+    args;
+  Buffer.add_string b "}}"
+
+(* Events in emission order: deterministic for a deterministic run, and
+   Perfetto sorts by ts on load anyway. *)
+let to_chrome_json t =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b {|{"displayTimeUnit":"ns","traceEvents":[|};
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      event_json b ev)
+    (events t);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

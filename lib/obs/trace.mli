@@ -1,0 +1,79 @@
+(** Span tracer over simulated time.
+
+    Collects Chrome-trace-event spans and instants stamped with
+    simulated-time nanoseconds.  Each traced request carries a {!flow}
+    handle; the telescoping stage API ({!open_stage}/{!close_stage})
+    closes one stage and opens the next at the same instant, so a
+    request's stage durations sum exactly to its root "request" span.
+
+    Tracing never schedules engine events or charges simulated compute
+    time, and with sampling off every instrumentation site reduces to a
+    single option check — the tracer is invisible to a run's timing. *)
+
+type ev = {
+  ev_name : string;
+  ev_cat : string;  (** "stage" | "mod" | "device" | "request" | "event" *)
+  ev_ph : char;  (** 'X' complete span, 'i' instant *)
+  ev_ts : float;  (** begin timestamp, simulated ns *)
+  ev_dur : float;  (** duration ns (0 for instants) *)
+  ev_tid : int;  (** simulated hardware thread *)
+  ev_id : int;  (** request id *)
+  ev_args : (string * string) list;
+}
+
+type t
+(** A tracer: sampling knob plus an event buffer. *)
+
+val create : ?sample:int -> unit -> t
+(** [create ~sample ()] — trace 1-in-[sample] requests by id;
+    [sample <= 0] (the default) disables tracing entirely. *)
+
+val sample : t -> int
+val enabled : t -> bool
+
+val sampled : t -> id:int -> bool
+(** Deterministic: [sample > 0 && id mod sample = 0]. *)
+
+(** {1 Flows} *)
+
+type flow
+(** Per-request trace context: request id, root begin time, and at most
+    one currently-open stage. *)
+
+val start : t -> id:int -> now:float -> flow option
+(** [None] unless the id is sampled; the result is stored in
+    [Request.trace] and travels with the request. *)
+
+val flow_id : flow -> int
+val flow_t0 : flow -> float
+
+val span :
+  ?args:(string * string) list ->
+  flow -> name:string -> cat:string -> tid:int -> t0:float -> t1:float -> unit
+(** Emit a complete span [t0, t1]. *)
+
+val instant : ?args:(string * string) list -> flow -> name:string -> tid:int -> now:float -> unit
+(** Emit a point event (cache hit/miss, sched merge, ...). *)
+
+val open_stage : flow -> name:string -> now:float -> unit
+(** Record the begin of the named stage; replaces any open stage. *)
+
+val close_stage : flow -> tid:int -> now:float -> unit
+(** Emit the open stage as a span ending [now]; no-op when none open. *)
+
+val finish : flow -> tid:int -> now:float -> unit
+(** Close any open stage, then emit the root "request" span covering
+    the flow's begin to [now]. *)
+
+(** {1 Export} *)
+
+val events : t -> ev list
+(** All events in emission order. *)
+
+val event_count : t -> int
+val clear : t -> unit
+
+val to_chrome_json : t -> string
+(** Chrome trace-event JSON ({["traceEvents"]} array of "X"/"i" events,
+    timestamps in microseconds) — loadable in Perfetto / chrome://tracing.
+    Byte-stable for equal event sequences. *)

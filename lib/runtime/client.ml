@@ -1,6 +1,8 @@
 open Lab_sim
 open Lab_ipc
 open Lab_core
+module Metrics = Lab_obs.Metrics
+module Trace = Lab_obs.Trace
 
 exception Runtime_gone
 
@@ -26,10 +28,10 @@ let default_retry_policy =
   }
 
 type fault_counters = {
-  fc_retries : Stats.Counter.c;
-  fc_requeues : Stats.Counter.c;
-  fc_deadline_misses : Stats.Counter.c;
-  fc_exhausted : Stats.Counter.c;
+  fc_retries : Metrics.counter;
+  fc_requeues : Metrics.counter;
+  fc_deadline_misses : Metrics.counter;
+  fc_exhausted : Metrics.counter;
 }
 
 type t = {
@@ -46,6 +48,7 @@ type t = {
   policy : retry_policy;
   rng : Rng.t;  (* backoff jitter; independent of every other stream *)
   counters : fault_counters;
+  latency_hist : Metrics.histogram;  (* shared "client.latency_ns" *)
 }
 
 let pid t = t.c_pid
@@ -63,6 +66,10 @@ let charge t ns = Machine.compute (machine t) ~thread:t.c_thread ns
 let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10)
     ?(retry_policy = default_retry_policy) () =
   let conn = Ipc_manager.connect (Runtime.ipc runtime) ~pid ~uid in
+  (* Fault counters are per-client (the accessors below promise that),
+     so they register under the pid rather than a shared name. *)
+  let reg = Runtime.metrics runtime in
+  let counter k = Metrics.counter ~reg (Printf.sprintf "client.pid%d.%s" pid k) in
   {
     runtime;
     conn;
@@ -78,20 +85,21 @@ let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10)
     rng = Rng.create (0x9E3779 lxor (pid * 65599) lxor (thread * 31));
     counters =
       {
-        fc_retries = Stats.Counter.create ();
-        fc_requeues = Stats.Counter.create ();
-        fc_deadline_misses = Stats.Counter.create ();
-        fc_exhausted = Stats.Counter.create ();
+        fc_retries = counter "retries";
+        fc_requeues = counter "requeues";
+        fc_deadline_misses = counter "deadline_misses";
+        fc_exhausted = counter "exhausted_retries";
       };
+    latency_hist = Metrics.histogram ~reg "client.latency_ns";
   }
 
-let retries t = Stats.Counter.value t.counters.fc_retries
+let retries t = Metrics.value t.counters.fc_retries
 
-let requeues t = Stats.Counter.value t.counters.fc_requeues
+let requeues t = Metrics.value t.counters.fc_requeues
 
-let deadline_misses t = Stats.Counter.value t.counters.fc_deadline_misses
+let deadline_misses t = Metrics.value t.counters.fc_deadline_misses
 
-let exhausted_retries t = Stats.Counter.value t.counters.fc_exhausted
+let exhausted_retries t = Metrics.value t.counters.fc_exhausted
 
 let fault_counter_list t =
   [
@@ -188,6 +196,14 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
   in
   req.Request.hint_hctx <- hint;
   req.Request.hint_stream <- stream;
+  (* Trace context: present only when this request id is sampled, so
+     with sampling off the whole path costs one option check. *)
+  req.Request.trace <-
+    Trace.start (Runtime.tracer t.runtime) ~id:req.Request.id
+      ~now:req.Request.submitted_at;
+  (match req.Request.trace with
+  | Some fl -> Trace.open_stage fl ~name:"submit" ~now:req.Request.submitted_at
+  | None -> ());
   match stack.Stack.exec_mode with
   | Stack_spec.Sync ->
       (* The whole DAG runs in the client thread: no IPC, no central
@@ -195,7 +211,14 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
          connector still builds the request and walks the namespace and
          Module Registry itself. *)
       charge t sync_dispatch_ns;
-      Runtime.exec_request t.runtime ~thread:t.c_thread req
+      (match req.Request.trace with
+      | Some fl -> Trace.close_stage fl ~tid:t.c_thread ~now:(Machine.now (machine t))
+      | None -> ());
+      let result = Runtime.exec_request t.runtime ~thread:t.c_thread req in
+      (match req.Request.trace with
+      | Some fl -> Trace.finish fl ~tid:t.c_thread ~now:(Machine.now (machine t))
+      | None -> ());
+      result
   | Stack_spec.Async ->
       if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
         recover t;
@@ -205,6 +228,14 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
         let qp = qp_for_stack t stack in
         charge t (costs t).Costs.shmem_enqueue_ns;
         Qp.submit qp req;
+        (* "submit" ends (and the queue wait begins) once the request is
+           in the submission ring. *)
+        (match req.Request.trace with
+        | Some fl ->
+            let now = Machine.now (machine t) in
+            Trace.close_stage fl ~tid:t.c_thread ~now;
+            Trace.open_stage fl ~name:"queue_wait" ~now
+        | None -> ());
         (* Deadline watchdog: wake the completion waiters at the
            deadline so a lost command cannot park us forever. *)
         let settled = ref false in
@@ -223,10 +254,14 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
         | Ok done_req ->
             (* Pull the completion cache line back to our core. *)
             charge t (costs t).Costs.shmem_cross_core_ns;
+            (match done_req.Request.trace with
+            | Some fl ->
+                Trace.finish fl ~tid:t.c_thread ~now:(Machine.now (machine t))
+            | None -> ());
             Option.value done_req.Request.result
               ~default:(Request.Failed "no result recorded")
         | Error `Deadline ->
-            Stats.Counter.incr t.counters.fc_deadline_misses;
+            Metrics.incr t.counters.fc_deadline_misses;
             Request.failed_errno "ETIMEDOUT"
               (Printf.sprintf "request %d missed its %.0fns deadline"
                  req.Request.id t.policy.deadline_ns)
@@ -259,24 +294,24 @@ let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
   let rec next n ~hint result =
     if not (Request.is_transient_failure result) then result
     else if n >= p.max_retries then begin
-      Stats.Counter.incr t.counters.fc_exhausted;
+      Metrics.incr t.counters.fc_exhausted;
       result
     end
     else begin
-      Stats.Counter.incr t.counters.fc_retries;
+      Metrics.incr t.counters.fc_retries;
       (* Degraded mode: an offline queue stays offline for a while, so
          steer the retry to a different hardware queue instead of
          hammering the dead one. *)
       let hint =
         if Request.errno_of_result result = Some "EOFFLINE" then begin
-          Stats.Counter.incr t.counters.fc_requeues;
+          Metrics.incr t.counters.fc_requeues;
           Some (t.c_thread + n + 1)
         end
         else hint
       in
       Engine.wait (backoff_ns t n);
       if Machine.now (machine t) >= deadline_abs then begin
-        Stats.Counter.incr t.counters.fc_deadline_misses;
+        Metrics.incr t.counters.fc_deadline_misses;
         Request.failed_errno "ETIMEDOUT"
           "deadline exhausted during retry backoff"
       end
@@ -289,9 +324,14 @@ let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
 
 (* Submit a request and apply the fault policy to its outcome. *)
 let do_request t (stack : Stack.t) ?stream payload =
+  let t_begin = Machine.now (machine t) in
   let deadline_abs = deadline_of_policy t in
-  retry_transient t stack payload ~stream ~deadline_abs
-    (dispatch_once t stack payload ~hint:None ~stream ~deadline_abs)
+  let result =
+    retry_transient t stack payload ~stream ~deadline_abs
+      (dispatch_once t stack payload ~hint:None ~stream ~deadline_abs)
+  in
+  Metrics.observe t.latency_hist (Machine.now (machine t) -. t_begin);
+  result
 
 (* --- Batched submission (io_uring-style multi-submit) --- *)
 
@@ -310,10 +350,28 @@ let submit_batch t (stack : Stack.t) payloads =
   apply_decentralized_upgrades t;
   let qp = qp_for_stack t stack in
   let reqs = List.map (make_request t stack) payloads in
+  let tracer = Runtime.tracer t.runtime in
+  List.iter
+    (fun (r : Request.t) ->
+      r.Request.trace <-
+        Trace.start tracer ~id:r.Request.id ~now:r.Request.submitted_at;
+      match r.Request.trace with
+      | Some fl -> Trace.open_stage fl ~name:"submit" ~now:r.Request.submitted_at
+      | None -> ())
+    reqs;
   charge t
     ((costs t).Costs.shmem_enqueue_ns
     *. Stdlib.float_of_int (List.length reqs));
   Qp.submit_n qp reqs;
+  let t_in_ring = Machine.now (machine t) in
+  List.iter
+    (fun (r : Request.t) ->
+      match r.Request.trace with
+      | Some fl ->
+          Trace.close_stage fl ~tid:t.c_thread ~now:t_in_ring;
+          Trace.open_stage fl ~name:"queue_wait" ~now:t_in_ring
+      | None -> ())
+    reqs;
   reqs
 
 (* Reap the whole batch: fill [firsts] for every (request id -> index)
@@ -344,6 +402,11 @@ let rec reap_rounds t (stack : Stack.t) ~deadline_abs ~payloads ~pending
                 Hashtbl.remove pending req.Request.id;
                 (* Pull the completion cache line back to our core. *)
                 charge t (costs t).Costs.shmem_cross_core_ns;
+                (match req.Request.trace with
+                | Some fl ->
+                    Trace.finish fl ~tid:t.c_thread
+                      ~now:(Machine.now (machine t))
+                | None -> ());
                 firsts.(i) <-
                   Some
                     (Option.value req.Request.result
@@ -365,7 +428,7 @@ let rec reap_rounds t (stack : Stack.t) ~deadline_abs ~payloads ~pending
     | `Deadline ->
         Hashtbl.iter
           (fun _id i ->
-            Stats.Counter.incr t.counters.fc_deadline_misses;
+            Metrics.incr t.counters.fc_deadline_misses;
             firsts.(i) <-
               Some
                 (Request.failed_errno "ETIMEDOUT"

@@ -3,6 +3,18 @@ open Lab_core
 
 type probe = uuid:string -> exclusive_ns:float -> unit
 
+(* Instrumentation reads the simulated clock but never charges compute
+   or schedules events, so a traced run's timing is identical to an
+   untraced one.  Each module span is attached to the flow carried by
+   the request the module actually saw — a derived request (record
+   copy) shares its parent's flow, a synthesized one carries none. *)
+let mod_span (r : Request.t) ~name ~uuid ~thread ~t0 ~t1 =
+  match r.Request.trace with
+  | Some fl ->
+      Lab_obs.Trace.span fl ~name ~cat:"mod" ~tid:thread ~t0 ~t1
+        ~args:[ ("uuid", uuid) ]
+  | None -> ()
+
 let run machine ~registry ~stack ~thread ?probe req =
   let now () = Engine.now machine.Machine.engine in
   let rec run_vertex uuid req =
@@ -32,6 +44,7 @@ let run machine ~registry ~stack ~thread ?probe req =
         (match probe with
         | Some p -> p ~uuid ~exclusive_ns:(now () -. t0 -. !child_time)
         | None -> ());
+        mod_span req ~name:m.Labmod.name ~uuid ~thread ~t0 ~t1:(now ());
         result
   and forward uuid r =
     match Stack.next_uuids stack uuid with
@@ -39,4 +52,11 @@ let run machine ~registry ~stack ~thread ?probe req =
     | nexts ->
         List.fold_left (fun _ next -> run_vertex next r) Request.Done nexts
   in
-  run_vertex (Stack.entry_uuid stack) req
+  match req.Request.trace with
+  | None -> run_vertex (Stack.entry_uuid stack) req
+  | Some fl ->
+      let t0 = now () in
+      let result = run_vertex (Stack.entry_uuid stack) req in
+      Lab_obs.Trace.span fl ~name:"module_stack" ~cat:"stage" ~tid:thread ~t0
+        ~t1:(now ());
+      result

@@ -38,6 +38,11 @@ let of_yaml node =
   let getb key default =
     Option.value ~default (Option.bind (Yamlite.find node key) Yamlite.get_bool)
   in
+  let gets key default =
+    match Option.bind (Yamlite.find node key) Yamlite.get_string with
+    | Some s when s <> "" -> Some s
+    | _ -> default
+  in
   let nworkers = geti "workers" d.Runtime.nworkers in
   if nworkers <= 0 then Error "workers must be positive"
   else
@@ -56,6 +61,9 @@ let of_yaml node =
           geti "worker_batch_size" d.Runtime.worker_batch_size;
         worker_max_inflight =
           geti "worker_max_inflight" d.Runtime.worker_max_inflight;
+        trace_sample = geti "trace_sample" d.Runtime.trace_sample;
+        trace_path = gets "trace_path" d.Runtime.trace_path;
+        metrics_path = gets "metrics_path" d.Runtime.metrics_path;
       }
 
 let parse text =

@@ -10,6 +10,9 @@
     busy_poll: false
     admin_period_us: 1000
     worker_spin_us: 5
+    trace_sample: 100       # trace 1-in-N requests (0 = off)
+    trace_path: trace.json
+    metrics_path: metrics.jsonl
     policy:
       kind: dynamic        # static | round_robin | dynamic
       max_workers: 8

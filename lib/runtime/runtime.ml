@@ -12,6 +12,9 @@ type config = {
   workers_busy_poll : bool;
   worker_batch_size : int;
   worker_max_inflight : int;
+  trace_sample : int;
+  trace_path : string option;
+  metrics_path : string option;
 }
 
 let default_config =
@@ -24,6 +27,9 @@ let default_config =
     workers_busy_poll = false;
     worker_batch_size = 1;
     worker_max_inflight = 16;
+    trace_sample = 0;
+    trace_path = None;
+    metrics_path = None;
   }
 
 type qstat = {
@@ -46,6 +52,9 @@ type t = {
   mutable live : bool;
   mutable probe : Exec.probe option;
   repo_mgr : Repo.t;
+  tracer : Lab_obs.Trace.t;
+  metrics : Lab_obs.Metrics.t;
+  service_hist : Lab_obs.Metrics.histogram;
 }
 
 let machine t = t.machine
@@ -61,6 +70,10 @@ let module_manager t = t.mm
 let workers t = t.pool
 
 let config t = t.cfg
+
+let tracer t = t.tracer
+
+let metrics t = t.metrics
 
 let next_request_id t =
   t.req_counter <- t.req_counter + 1;
@@ -107,7 +120,8 @@ let qstat_of t qp_id =
 
 let note_service t ~qp_id ~service_ns =
   let s = qstat_of t qp_id in
-  s.ewma <- (0.8 *. s.ewma) +. (0.2 *. service_ns)
+  s.ewma <- (0.8 *. s.ewma) +. (0.2 *. service_ns);
+  Lab_obs.Metrics.observe t.service_hist service_ns
 
 (* Dispatch-time estimate (EstProcessingTime over the request's stack):
    raises the queue's expected service time immediately; later
@@ -128,8 +142,10 @@ let prime_estimate t ~qp_id req =
 
 let create machine ?(config = default_config) ~backends ~default_backend () =
   let reg = Registry.create () in
+  let metrics = Lab_obs.Metrics.create () in
+  let tracer = Lab_obs.Trace.create ~sample:config.trace_sample () in
   Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
-    ~nworkers:config.nworkers;
+    ~nworkers:config.nworkers ~metrics;
   let default =
     match List.assoc_opt default_backend backends with
     | Some b -> b
@@ -158,7 +174,7 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          machine;
          reg;
          ns = Namespace.create ();
-         ipc_mgr = Ipc_manager.create machine.Machine.engine;
+         ipc_mgr = Ipc_manager.create ~metrics machine.Machine.engine;
          mm =
            Module_manager.create machine reg
              ~load_code:(make_load_code machine default);
@@ -170,9 +186,23 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          live = true;
          probe = None;
          repo_mgr = Repo.create ~runtime_uid:0 ();
+         tracer;
+         metrics;
+         service_hist = Lab_obs.Metrics.histogram ~reg:metrics "runtime.service_ns";
        })
   in
-  Lazy.force t
+  let t = Lazy.force t in
+  (* Worker activity is maintained by the Worker structs themselves;
+     expose it as read-through gauges rather than duplicating state. *)
+  Array.iter
+    (fun w ->
+      let name k = Printf.sprintf "runtime.worker%d.%s" (Worker.id w) k in
+      Lab_obs.Metrics.gauge_fn metrics (name "processed") (fun () ->
+          Stdlib.float_of_int (Worker.processed w));
+      Lab_obs.Metrics.gauge_fn metrics (name "active_ns") (fun () ->
+          Worker.active_ns w))
+    t.pool;
+  t
 
 (* The paper's EstProcessingTime path: ask every LabMod on the queued
    request's stack for its expected processing time, so a queue turns

@@ -18,6 +18,13 @@ type config = {
   worker_max_inflight : int;
       (** per-worker asynchronous window: concurrent requests a worker
           runs as coroutines (default 16, min 1); see {!Worker.create} *)
+  trace_sample : int;
+      (** span-tracer sampling: trace every request whose id is a
+          multiple of this (1 = all, 0 = off, the default) *)
+  trace_path : string option;
+      (** where {!Platform.export} writes the Chrome trace-event JSON *)
+  metrics_path : string option;
+      (** where {!Platform.export} writes the JSONL metrics snapshot *)
 }
 
 val default_config : config
@@ -47,6 +54,14 @@ val module_manager : t -> Lab_core.Module_manager.t
 val workers : t -> Worker.t array
 
 val config : t -> config
+
+val tracer : t -> Lab_obs.Trace.t
+(** The span tracer every client/worker/module instrumentation point
+    emits into; created with the config's [trace_sample]. *)
+
+val metrics : t -> Lab_obs.Metrics.t
+(** The metrics registry: queue-pair, worker, module, client and (via
+    {!Platform}) device/fault instruments all live here. *)
 
 val start : t -> unit
 

@@ -1,6 +1,7 @@
 open Lab_sim
 open Lab_ipc
 open Lab_core
+module Trace = Lab_obs.Trace
 
 type t = {
   w_id : int;
@@ -104,14 +105,40 @@ let process t qp req ~pull_ns =
      we start on it (the EstProcessingTime API): a queue turns
      computational at dispatch, not at first completion. *)
   t.qprime ~qp_id:(Qp.id qp) req;
+  (* Stage accounting (telescoping): the client's "queue_wait" ends the
+     moment the worker dequeues; "dispatch" covers the cross-core pull,
+     "complete" the post-stack completion push. Tracing only reads the
+     clock — it never charges time or schedules events. *)
+  (match req.Request.trace with
+  | Some fl ->
+      let now = Engine.now t.machine.Machine.engine in
+      Trace.close_stage fl ~tid:t.w_thread ~now;
+      Trace.open_stage fl ~name:"dispatch" ~now
+  | None -> ());
   Machine.compute t.machine ~thread:t.w_thread pull_ns;
   Engine.spawn t.machine.Machine.engine (fun () ->
       let t0 = Engine.now t.machine.Machine.engine in
+      (match req.Request.trace with
+      | Some fl -> Trace.close_stage fl ~tid:t.w_thread ~now:t0
+      | None -> ());
       let result = t.exec ~thread:t.w_thread req in
       req.Request.result <- Some result;
+      (match req.Request.trace with
+      | Some fl ->
+          Trace.open_stage fl ~name:"complete"
+            ~now:(Engine.now t.machine.Machine.engine)
+      | None -> ());
       t.qstat ~qp_id:(Qp.id qp)
         ~service_ns:(Engine.now t.machine.Machine.engine -. t0);
       Machine.compute t.machine ~thread:t.w_thread (costs t).Costs.shmem_enqueue_ns;
+      (* Hand the open "reap" stage to the client before the completion
+         push can wake it. *)
+      (match req.Request.trace with
+      | Some fl ->
+          let now = Engine.now t.machine.Machine.engine in
+          Trace.close_stage fl ~tid:t.w_thread ~now;
+          Trace.open_stage fl ~name:"reap" ~now
+      | None -> ());
       Qp.complete qp req;
       t.done_count <- t.done_count + 1;
       t.inflight <- t.inflight - 1;

@@ -330,7 +330,7 @@ let drive m ?(forward = fun _ -> Request.Done) (labmod : Labmod.t) req =
 let test_sharded_lru_mod () =
   in_sim (fun m ->
       let labmod =
-        Lru_cache.factory ~uuid:"lru4"
+        Lru_cache.factory () ~uuid:"lru4"
           ~attrs:
             [
               ("capacity_mb", Yamlite.Int 1);
@@ -374,7 +374,7 @@ let test_sharded_lru_mod () =
 let test_arc_ghost_lists_under_readahead () =
   in_sim (fun m ->
       let labmod =
-        Arc_cache.factory ~uuid:"arc2"
+        Arc_cache.factory () ~uuid:"arc2"
           ~attrs:
             [
               ("capacity_mb", Yamlite.Int 1);

@@ -163,7 +163,7 @@ let test_arc_mod_interchangeable_with_lru () =
   (* Same attributes, same stack slot, same behaviour contract. *)
   in_sim (fun m ->
       let arc =
-        Arc_cache.factory ~uuid:"arc" ~attrs:[ ("capacity_mb", Yamlite.Int 1) ]
+        Arc_cache.factory () ~uuid:"arc" ~attrs:[ ("capacity_mb", Yamlite.Int 1) ]
       in
       let downstream = ref 0 in
       let forward _ =

@@ -223,7 +223,7 @@ let test_noop_sched_core_keying () =
 
 let test_blkswitch_avoids_loaded () =
   in_sim (fun m ->
-      let sched = Blkswitch_sched.factory ~nqueues:4 ~uuid:"bsw" ~attrs:[] in
+      let sched = Blkswitch_sched.factory ~nqueues:4 () ~uuid:"bsw" ~attrs:[] in
       (* Occupy queue 0 with a long-running request. *)
       let release = ref None in
       Engine.spawn m.Machine.engine (fun () ->
@@ -247,7 +247,7 @@ let test_blkswitch_avoids_loaded () =
 
 let test_lru_mod_write_back_and_hit () =
   in_sim (fun m ->
-      let cache = Lru_cache.factory ~uuid:"lru" ~attrs:[ ("capacity_mb", Yamlite.Int 1) ] in
+      let cache = Lru_cache.factory () ~uuid:"lru" ~attrs:[ ("capacity_mb", Yamlite.Int 1) ] in
       let downstream = ref 0 in
       let forward _ =
         incr downstream;
@@ -268,7 +268,7 @@ let test_lru_mod_eviction_writes_back () =
       (* 1 MiB capacity = 256 pages; write 300 distinct pages: the 44
          evicted dirty pages must flow downstream — but coalesced into
          adjacent-LBA batches, not one op per page. *)
-      let cache = Lru_cache.factory ~uuid:"lru" ~attrs:[ ("capacity_mb", Yamlite.Int 1) ] in
+      let cache = Lru_cache.factory () ~uuid:"lru" ~attrs:[ ("capacity_mb", Yamlite.Int 1) ] in
       let downstream_ops = ref 0 in
       let downstream_pages = ref 0 in
       let forward r =

@@ -1,0 +1,323 @@
+(* Tests for lab_obs and its wiring: metrics registry semantics,
+   span-tracer telescoping, exporter byte-stability, and the
+   platform-level guarantees (trace determinism across identical runs,
+   span nesting, zero overhead / zero events with sampling off). *)
+
+open Labstor
+module Metrics = Lab_obs.Metrics
+module Trace = Lab_obs.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_interning () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter ~reg "x.count" in
+  Metrics.incr a;
+  Metrics.incr ~by:4 a;
+  (* Re-requesting the name yields the same instrument. *)
+  let b = Metrics.counter ~reg "x.count" in
+  Alcotest.(check int) "shared value" 5 (Metrics.value b);
+  Metrics.incr b;
+  Alcotest.(check int) "visible through first handle" 6 (Metrics.value a);
+  (* One exported entry, not two. *)
+  Alcotest.(check int) "one instrument" 1 (List.length (Metrics.to_list reg))
+
+let test_kind_clash_rejected () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter ~reg "x");
+  Alcotest.check_raises "histogram over counter"
+    (Invalid_argument "Metrics: \"x\" already registered as a counter")
+    (fun () -> ignore (Metrics.histogram ~reg "x"))
+
+let test_detached_counter () =
+  let reg = Metrics.create () in
+  let d = Metrics.counter "floating" in
+  Metrics.incr ~by:7 d;
+  Alcotest.(check int) "records" 7 (Metrics.value d);
+  Alcotest.(check int) "invisible to export" 0
+    (List.length (Metrics.to_list reg))
+
+let test_gauge_replace () =
+  let reg = Metrics.create () in
+  Metrics.gauge_fn reg "g" (fun () -> 1.0);
+  Metrics.gauge_fn reg "g" (fun () -> 2.0);
+  match Metrics.to_list reg with
+  | [ ("g", Metrics.V_gauge v) ] -> Alcotest.(check (float 0.0)) "latest" 2.0 v
+  | _ -> Alcotest.fail "expected exactly one gauge"
+
+let test_gauge_read_through () =
+  let reg = Metrics.create () in
+  let cell = ref 0.0 in
+  Metrics.gauge_fn reg "live" (fun () -> !cell);
+  cell := 42.0;
+  match Metrics.to_list reg with
+  | [ ("live", Metrics.V_gauge v) ] ->
+      Alcotest.(check (float 0.0)) "sampled at export" 42.0 v
+  | _ -> Alcotest.fail "expected exactly one gauge"
+
+let test_histogram_quantiles () =
+  let h = Metrics.histogram "h" in
+  (* Log2 buckets report the upper bound of the rank's bucket. *)
+  List.iter (Metrics.observe h) [ 3.0; 3.0; 3.0; 1000.0 ];
+  Alcotest.(check int) "count" 4 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 1009.0 (Metrics.hist_sum h);
+  Alcotest.(check (float 0.0)) "p50 in (2,4] bucket" 4.0 (Metrics.p50 h);
+  Alcotest.(check (float 0.0)) "p999 in (512,1024] bucket" 1024.0
+    (Metrics.p999 h);
+  let empty = Metrics.histogram "h2" in
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Metrics.p50 empty)
+
+let build_registry () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter ~reg "b.count");
+  Metrics.gauge_fn reg "a.gauge" (fun () -> 1.5);
+  let h = Metrics.histogram ~reg "c.hist" in
+  List.iter (Metrics.observe h) [ 10.0; 20.0; 3000.0 ];
+  reg
+
+let test_jsonl_stable () =
+  let a = Metrics.to_jsonl (build_registry ()) in
+  let b = Metrics.to_jsonl (build_registry ()) in
+  Alcotest.(check string) "byte-identical" a b;
+  (* Sorted by name, one object per line. *)
+  let lines = String.split_on_char '\n' (String.trim a) in
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "object per line" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines;
+  let name_of l = String.sub l 0 (Stdlib.min 12 (String.length l)) in
+  Alcotest.(check (list string)) "sorted"
+    [ "{\"name\":\"a.g"; "{\"name\":\"b.c"; "{\"name\":\"c.h" ]
+    (List.map name_of lines)
+
+let test_nonfinite_clamped () =
+  let reg = Metrics.create () in
+  Metrics.gauge_fn reg "bad" (fun () -> Float.nan);
+  let j = Metrics.to_jsonl reg in
+  Alcotest.(check bool) "nan clamped" true
+    (String.length j > 0
+    && not
+         (String.fold_left (fun acc c -> acc || c = 'n') false
+            (String.sub j 20 (String.length j - 20))))
+
+(* ------------------------------------------------------------------ *)
+(* Span tracer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampling_predicate () =
+  let off = Trace.create () in
+  Alcotest.(check bool) "off" false (Trace.sampled off ~id:0);
+  let tr = Trace.create ~sample:3 () in
+  Alcotest.(check bool) "id 6" true (Trace.sampled tr ~id:6);
+  Alcotest.(check bool) "id 7" false (Trace.sampled tr ~id:7);
+  Alcotest.(check bool) "start unsampled" true (Trace.start tr ~id:7 ~now:0.0 = None)
+
+let test_stage_telescoping () =
+  let tr = Trace.create ~sample:1 () in
+  let fl = Option.get (Trace.start tr ~id:5 ~now:10.0) in
+  Trace.open_stage fl ~name:"one" ~now:10.0;
+  Trace.close_stage fl ~tid:0 ~now:25.0;
+  Trace.open_stage fl ~name:"two" ~now:25.0;
+  Trace.finish fl ~tid:0 ~now:40.0;
+  match Trace.events tr with
+  | [ one; two; root ] ->
+      Alcotest.(check string) "first stage" "one" one.Trace.ev_name;
+      Alcotest.(check (float 0.0)) "one dur" 15.0 one.Trace.ev_dur;
+      Alcotest.(check (float 0.0)) "two dur" 15.0 two.Trace.ev_dur;
+      Alcotest.(check string) "root" "request" root.Trace.ev_name;
+      Alcotest.(check (float 0.0)) "root ts" 10.0 root.Trace.ev_ts;
+      Alcotest.(check (float 0.0)) "root dur" 30.0 root.Trace.ev_dur;
+      Alcotest.(check (float 0.0))
+        "stages tile the root" root.Trace.ev_dur
+        (one.Trace.ev_dur +. two.Trace.ev_dur)
+  | evs -> Alcotest.fail (Printf.sprintf "expected 3 events, got %d" (List.length evs))
+
+let test_chrome_json_stable () =
+  let build () =
+    let tr = Trace.create ~sample:1 () in
+    let fl = Option.get (Trace.start tr ~id:2 ~now:100.0) in
+    Trace.instant fl ~name:"hit" ~tid:3 ~now:150.0;
+    Trace.span fl ~name:"mod" ~cat:"mod" ~tid:3 ~t0:120.0 ~t1:180.0
+      ~args:[ ("uuid", "m0") ];
+    Trace.finish fl ~tid:3 ~now:200.0;
+    Trace.to_chrome_json tr
+  in
+  let a = build () in
+  Alcotest.(check string) "byte-identical" a (build ());
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length a > 0 && String.sub a 0 1 = "{")
+
+(* ------------------------------------------------------------------ *)
+(* Platform-level: determinism, nesting, zero overhead                 *)
+(* ------------------------------------------------------------------ *)
+
+let stack_spec =
+  {|
+mount: "blk::/obs-test"
+rules:
+  exec_mode: async
+dag:
+  - uuid: cache0
+    mod: lru_cache
+    attrs:
+      capacity_mb: 1
+    outputs: [sched0]
+  - uuid: sched0
+    mod: blkswitch_sched
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+
+let threads = 2
+
+let ops = 40
+
+let run_platform ~sample =
+  let platform = Platform.boot ~nworkers:2 ~seed:0x0B5 ~trace_sample:sample () in
+  (match Platform.mount platform stack_spec with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("mount: " ^ e));
+  let machine = Platform.machine platform in
+  Platform.go platform (fun () ->
+      let finished = ref 0 in
+      Lab_sim.Engine.suspend (fun resume ->
+          for th = 0 to threads - 1 do
+            Lab_sim.Engine.spawn machine.Lab_sim.Machine.engine (fun () ->
+                let c = Platform.client platform ~thread:th () in
+                for i = 1 to ops do
+                  let lba = (th * 100_000) + i in
+                  if i mod 3 = 0 then
+                    ignore
+                      (Runtime.Client.write_block c ~mount:"blk::/obs-test"
+                         ~lba ~bytes:4096)
+                  else
+                    ignore
+                      (Runtime.Client.read_block c ~mount:"blk::/obs-test"
+                         ~lba ~bytes:4096)
+                done;
+                incr finished;
+                if !finished = threads then resume ())
+          done));
+  platform
+
+let test_run_determinism () =
+  let artifacts () =
+    let p = run_platform ~sample:2 in
+    ( Trace.to_chrome_json (Platform.tracer p),
+      Metrics.to_jsonl (Platform.metrics p) )
+  in
+  let t1, m1 = artifacts () in
+  let t2, m2 = artifacts () in
+  Alcotest.(check bool) "trace nonempty" true (String.length t1 > 100);
+  Alcotest.(check string) "trace byte-identical" t1 t2;
+  Alcotest.(check string) "metrics byte-identical" m1 m2
+
+let test_span_nesting () =
+  let p = run_platform ~sample:2 in
+  let evs = Trace.events (Platform.tracer p) in
+  Alcotest.(check bool) "nonempty" true (evs <> []);
+  (* Index root spans and module-stack stages by request id. *)
+  let roots = Hashtbl.create 64 in
+  let mstacks = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.ev) ->
+      Alcotest.(check bool) "sampling respected" true (e.Trace.ev_id mod 2 = 0);
+      Alcotest.(check bool) "end >= begin" true (e.Trace.ev_dur >= 0.0);
+      match (e.Trace.ev_cat, e.Trace.ev_name) with
+      | "request", _ -> Hashtbl.replace roots e.Trace.ev_id e
+      | "stage", "module_stack" -> Hashtbl.replace mstacks e.Trace.ev_id e
+      | _ -> ())
+    evs;
+  Alcotest.(check bool) "traced requests exist" true (Hashtbl.length roots > 0);
+  let within ~outer (e : Trace.ev) =
+    e.Trace.ev_ts >= outer.Trace.ev_ts -. 1e-6
+    && e.Trace.ev_ts +. e.Trace.ev_dur
+       <= outer.Trace.ev_ts +. outer.Trace.ev_dur +. 1e-6
+  in
+  let stage_sums = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.ev) ->
+      match Hashtbl.find_opt roots e.Trace.ev_id with
+      | None -> ()
+      | Some root -> (
+          match e.Trace.ev_cat with
+          | "stage" ->
+              Alcotest.(check bool) "stage within root" true (within ~outer:root e);
+              let prev =
+                Option.value (Hashtbl.find_opt stage_sums e.Trace.ev_id)
+                  ~default:0.0
+              in
+              Hashtbl.replace stage_sums e.Trace.ev_id (prev +. e.Trace.ev_dur)
+          | "mod" -> (
+              match Hashtbl.find_opt mstacks e.Trace.ev_id with
+              | Some ms ->
+                  Alcotest.(check bool) "mod within module_stack" true
+                    (within ~outer:ms e)
+              | None -> Alcotest.fail "mod span without module_stack stage")
+          | _ -> ()))
+    evs;
+  (* Telescoping: the stages of each request sum to its root span
+     within 1% (the acceptance bound; exact in practice). *)
+  Hashtbl.iter
+    (fun id (root : Trace.ev) ->
+      match Hashtbl.find_opt stage_sums id with
+      | None -> Alcotest.fail "request without stages"
+      | Some sum ->
+          let residual = Float.abs (root.Trace.ev_dur -. sum) in
+          Alcotest.(check bool) "stages reconcile with end-to-end" true
+            (residual <= 0.01 *. Float.max root.Trace.ev_dur 1.0))
+    roots
+
+let test_zero_overhead_when_off () =
+  let run () =
+    let p = run_platform ~sample:0 in
+    let machine = Platform.machine p in
+    ( Trace.event_count (Platform.tracer p),
+      Platform.now p,
+      Lab_sim.Engine.events_executed machine.Lab_sim.Machine.engine )
+  in
+  let count0, elapsed0, events0 = run () in
+  Alcotest.(check int) "no trace events" 0 count0;
+  (* A traced run of the same workload must not perturb the simulation:
+     identical virtual time and event count. *)
+  let p = run_platform ~sample:1 in
+  let machine = Platform.machine p in
+  Alcotest.(check bool) "tracing emitted events" true
+    (Trace.event_count (Platform.tracer p) > 0);
+  Alcotest.(check (float 0.0)) "same virtual time" elapsed0 (Platform.now p);
+  Alcotest.(check int) "same event count" events0
+    (Lab_sim.Engine.events_executed machine.Lab_sim.Machine.engine)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter interning" `Quick test_counter_interning;
+          Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+          Alcotest.test_case "detached counter" `Quick test_detached_counter;
+          Alcotest.test_case "gauge replace" `Quick test_gauge_replace;
+          Alcotest.test_case "gauge read-through" `Quick test_gauge_read_through;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "jsonl stable" `Quick test_jsonl_stable;
+          Alcotest.test_case "non-finite clamped" `Quick test_nonfinite_clamped;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "sampling predicate" `Quick test_sampling_predicate;
+          Alcotest.test_case "stage telescoping" `Quick test_stage_telescoping;
+          Alcotest.test_case "chrome json stable" `Quick test_chrome_json_stable;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "run determinism" `Quick test_run_determinism;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "zero overhead when off" `Quick
+            test_zero_overhead_when_off;
+        ] );
+    ]

@@ -335,6 +335,37 @@ let test_stats_empty () =
   Alcotest.(check bool) "empty percentile is nan" true
     (Float.is_nan (Stats.percentile s 50.0))
 
+(* Percentile queries sort lazily and memoize via the [sorted] flag.
+   Regression: repeated percentile/pp calls must not change results,
+   and the memo must be invalidated by add/merge/clear. *)
+let test_stats_percentile_memo () =
+  let s = Stats.create () in
+  (* Adversarial insertion order. *)
+  List.iter (Stats.add s) [ 9.0; 1.0; 8.0; 2.0; 7.0; 3.0 ];
+  let first = Stats.percentile s 50.0 in
+  (* pp queries p50/p99 itself; run it twice between checks. *)
+  ignore (Format.asprintf "%a" Stats.pp s);
+  ignore (Format.asprintf "%a" Stats.pp s);
+  check_float "p50 stable across repeated queries" first
+    (Stats.percentile s 50.0);
+  check_float "mean unperturbed" (30.0 /. 6.0) (Stats.mean s);
+  check_float "min unperturbed" 1.0 (Stats.min s);
+  (* add after a sorted query must be observable. *)
+  Stats.add s 0.5;
+  check_float "p0 sees post-sort add" 0.5 (Stats.percentile s 0.0);
+  (* merge reflects both inputs and leaves the sources intact. *)
+  let other = Stats.create () in
+  Stats.add other 100.0;
+  let m = Stats.merge s other in
+  check_float "merged p100" 100.0 (Stats.percentile m 100.0);
+  check_float "source intact after merge" 9.0 (Stats.percentile s 100.0);
+  (* clear resets; the instance stays reusable. *)
+  Stats.clear s;
+  Alcotest.(check bool) "cleared percentile is nan" true
+    (Float.is_nan (Stats.percentile s 50.0));
+  Stats.add s 5.0;
+  check_float "reusable after clear" 5.0 (Stats.percentile s 50.0)
+
 let prop_stats_percentile_matches_sorted =
   QCheck.Test.make ~name:"percentile equals nearest-rank on sorted sample"
     ~count:200
@@ -465,6 +496,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "percentile memo" `Quick
+            test_stats_percentile_memo;
           QCheck_alcotest.to_alcotest prop_stats_percentile_matches_sorted;
           QCheck_alcotest.to_alcotest prop_stats_mean_bounds;
         ] );
