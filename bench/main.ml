@@ -32,6 +32,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "anatomy2",
       "Latency anatomy measured from request-lifecycle spans",
       Exp_anatomy2.run );
+    ( "profile",
+      "Continuous profiling: utilization timelines & bottleneck attribution",
+      Exp_profile.run );
   ]
 
 let usage () =

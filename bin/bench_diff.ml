@@ -1,0 +1,251 @@
+(* bench_diff — regression gate over the BENCH_*.json artifacts.
+
+   Usage: bench_diff BASELINE FRESH [THRESHOLD]
+
+   Parses both files with a minimal JSON reader, flattens every
+   numeric leaf to a dotted path ("stages[3].mean_ns"), and compares
+   fresh against baseline: any leaf whose relative difference exceeds
+   THRESHOLD (default 0.10) fails the run, as does a leaf present in
+   one file but not the other. Booleans count as 0/1 so a flipped
+   acceptance flag ("deterministic_export": false) always trips the
+   gate. The simulator is deterministic, so on an unchanged tree the
+   comparison is exact; the threshold only absorbs intentional small
+   retunings.
+
+   Exit 0 = within threshold; 1 = regression; 2 = usage/parse error. *)
+
+(* ---------------- minimal JSON ---------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | 'r' -> Buffer.add_char buf '\r'
+              | 'u' ->
+                  (* keep the escape verbatim; paths never need it *)
+                  Buffer.add_string buf "\\u"
+              | c -> Buffer.add_char buf c);
+              loop ())
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when numchar c -> true | _ -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (elements [])
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing content";
+  v
+
+(* ---------------- flatten ---------------- *)
+
+let flatten (j : json) : (string * float) list =
+  let out = ref [] in
+  let rec go path = function
+    | Null | Str _ -> ()
+    | Bool b -> out := (path, if b then 1.0 else 0.0) :: !out
+    | Num f -> out := (path, f) :: !out
+    | Arr l ->
+        List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) l
+    | Obj members ->
+        List.iter
+          (fun (k, v) ->
+            go (if path = "" then k else path ^ "." ^ k) v)
+          members
+  in
+  go "" j;
+  List.rev !out
+
+(* ---------------- compare ---------------- *)
+
+(* Relative difference with a small absolute guard: metrics that hover
+   near zero (utilization of an idle worker, a residual) would
+   otherwise flag on nanoscopic absolute change. *)
+let abs_guard = 1e-6
+
+let rel_diff base fresh =
+  let denom = Float.max (Float.abs base) abs_guard in
+  Float.abs (fresh -. base) /. denom
+
+let () =
+  let usage () =
+    prerr_endline "usage: bench_diff BASELINE FRESH [THRESHOLD]";
+    exit 2
+  in
+  let baseline_path, fresh_path, threshold =
+    match Array.to_list Sys.argv with
+    | [ _; b; f ] -> (b, f, 0.10)
+    | [ _; b; f; t ] -> (
+        match float_of_string_opt t with
+        | Some t when t >= 0.0 -> (b, f, t)
+        | _ -> usage ())
+    | _ -> usage ()
+  in
+  let read path =
+    let ic =
+      try open_in_bin path
+      with Sys_error e ->
+        Printf.eprintf "bench_diff: %s\n" e;
+        exit 2
+    in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse text with
+    | j -> flatten j
+    | exception Parse_error m ->
+        Printf.eprintf "bench_diff: %s: %s\n" path m;
+        exit 2
+  in
+  let base = read baseline_path and fresh = read fresh_path in
+  let failures = ref 0 in
+  let flag fmt = Printf.ksprintf (fun m -> incr failures; print_endline m) fmt in
+  List.iter
+    (fun (path, b) ->
+      match List.assoc_opt path fresh with
+      | None -> flag "MISSING  %-40s baseline=%g (absent in fresh)" path b
+      | Some f ->
+          let d = rel_diff b f in
+          if d > threshold then
+            flag "REGRESS  %-40s baseline=%g fresh=%g (%+.1f%%)" path b f
+              (100.0 *. (f -. b) /. Float.max (Float.abs b) abs_guard))
+    base;
+  List.iter
+    (fun (path, f) ->
+      if List.assoc_opt path base = None then
+        flag "NEW      %-40s fresh=%g (absent in baseline)" path f)
+    fresh;
+  if !failures > 0 then begin
+    Printf.printf
+      "bench_diff: %d metric(s) outside %.0f%% of %s — if intentional, \
+       regenerate the baseline from a smoke run and commit it\n"
+      !failures (100.0 *. threshold) baseline_path;
+    exit 1
+  end
+  else
+    Printf.printf "bench_diff: %s vs %s: %d metrics within %.0f%%\n"
+      baseline_path fresh_path (List.length base) (100.0 *. threshold)

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repo health check: build everything, run every test suite, then run
-# the fault-injection experiment in its ~2 s smoke configuration (which
-# also asserts trace determinism and exits nonzero on divergence).
+# Repo health check: build everything, run every test suite, run the
+# experiment smokes (each asserts its own acceptance criteria and exits
+# nonzero on violation), then gate the BENCH_*.json artifacts against
+# the committed baselines with bench_diff (>10% regression fails).
 # Usage: bin/check.sh  (or: make check)
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,15 +22,29 @@ LABSTOR_SMOKE=1 dune exec bench/main.exe -- batching
 echo "== cache smoke (--smoke) =="
 dune exec bench/main.exe -- cache --smoke
 test -s BENCH_cache.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_cache.json BENCH_cache.json
 
 echo "== anatomy2 smoke (--smoke) =="
 # Asserts per-request stage/e2e reconciliation and zero overhead when
 # tracing is off; exits nonzero on violation.
 dune exec bench/main.exe -- anatomy2 --smoke
 test -s BENCH_anatomy.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_anatomy.json BENCH_anatomy.json
+
+echo "== profile smoke (--smoke) =="
+# Asserts dedicated > time-shared worker utilization, byte-identical
+# same-seed profile export, and sampler neutrality.
+dune exec bench/main.exe -- profile --smoke
+test -s BENCH_profile.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_profile.json BENCH_profile.json
 
 echo "== labstor_cli metrics smoke =="
 dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
-test -s metrics.jsonl
+test -s out/metrics.jsonl
+
+echo "== labstor_cli profile/top smoke =="
+dune exec bin/labstor_cli.exe -- profile --ops 200 --threads 2 > /dev/null
+test -s out/profile.json
+dune exec bin/labstor_cli.exe -- top --ops 200 --threads 2 > /dev/null
 
 echo "check: OK"

@@ -439,7 +439,9 @@ let conf_pos =
     value
     & pos 0 (some file) None
     & info [] ~docv:"CONF"
-        ~doc:"Runtime configuration YAML (workers, trace_sample, trace_path, metrics_path)")
+        ~doc:
+          "Runtime configuration YAML (workers, trace_sample, trace_path, \
+           metrics_path, profile_period_us, profile_path)")
 
 let metrics_cmd =
   let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"block ops per thread") in
@@ -477,7 +479,8 @@ let metrics_cmd =
       match out with
       | Some p -> p
       | None ->
-          Option.value cfg.Runtime.Runtime.metrics_path ~default:"metrics.jsonl"
+          Option.value cfg.Runtime.Runtime.metrics_path
+            ~default:"out/metrics.jsonl"
     in
     Platform.export ~metrics_path:path platform;
     Printf.printf "wrote %s\n" path
@@ -539,7 +542,8 @@ let trace_cmd =
     let path =
       match out with
       | Some p -> p
-      | None -> Option.value cfg.Runtime.Runtime.trace_path ~default:"trace.json"
+      | None ->
+          Option.value cfg.Runtime.Runtime.trace_path ~default:"out/trace.json"
     in
     Platform.export ~trace_path:path platform;
     Printf.printf "wrote %s (load in Perfetto / chrome://tracing)\n" path
@@ -548,6 +552,131 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Trace sampled requests through a canned stack and export Chrome trace-event JSON")
     Term.(const run $ conf_pos $ ops $ threads $ seed $ sample $ out)
+
+(* ---------------- profile / top ---------------- *)
+
+let profile_cmd =
+  let ops = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 2 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let period_us =
+    Arg.(value & opt float 50.0
+         & info [ "period-us" ] ~doc:"sampler period in microseconds")
+  in
+  let top_n =
+    Arg.(value & opt int 20 & info [ "top" ] ~doc:"flamegraph rows to print")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"profile JSON output path (overrides the config's profile_path)")
+  in
+  let run conf ops threads seed period_us top_n out =
+    let cfg = parse_run_config conf in
+    let period_ns =
+      if cfg.Runtime.Runtime.profile_period_ns > 0.0 then
+        cfg.Runtime.Runtime.profile_period_ns
+      else period_us *. 1000.0
+    in
+    let platform =
+      Platform.boot ~nworkers:cfg.Runtime.Runtime.nworkers ~seed ~trace_sample:1
+        ~profile_period:period_ns ()
+    in
+    drive_obs_workload platform ~ops ~threads;
+    let prof =
+      Obs.Profile.of_events (Obs.Trace.events (Platform.tracer platform))
+    in
+    Printf.printf
+      "profiled %d requests (p50 %.1f us, p99 %.1f us), sampler period %.1f us\n"
+      prof.Obs.Profile.requests
+      (prof.Obs.Profile.p50_ns /. 1e3)
+      (prof.Obs.Profile.p99_ns /. 1e3)
+      (period_ns /. 1e3);
+    Printf.printf "hottest stacks (self time):\n";
+    let by_self =
+      List.sort
+        (fun a b -> Float.compare b.Obs.Profile.pf_self_ns a.Obs.Profile.pf_self_ns)
+        prof.Obs.Profile.nodes
+    in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    print_value_table
+      (List.map
+         (fun (n : Obs.Profile.node) ->
+           ( n.Obs.Profile.pf_key,
+             Printf.sprintf "n=%-6d self %8.0f ns  total %8.0f ns"
+               n.Obs.Profile.pf_count n.Obs.Profile.pf_self_ns
+               n.Obs.Profile.pf_total_ns ))
+         (take top_n by_self));
+    Printf.printf "tail attribution (p50 cohort of %d vs >=p99 cohort of %d):\n"
+      prof.Obs.Profile.p50_cohort prof.Obs.Profile.tail_cohort;
+    print_value_table
+      (List.map
+         (fun (r : Obs.Profile.tail_row) ->
+           ( r.Obs.Profile.tr_stage,
+             Printf.sprintf "p50 mean %8.0f ns   tail mean %8.0f ns   x%.2f"
+               r.Obs.Profile.tr_p50_mean_ns r.Obs.Profile.tr_tail_mean_ns
+               (if r.Obs.Profile.tr_p50_mean_ns > 0.0 then
+                  r.Obs.Profile.tr_tail_mean_ns /. r.Obs.Profile.tr_p50_mean_ns
+                else 0.0) ))
+         prof.Obs.Profile.tail);
+    let path =
+      match out with
+      | Some p -> p
+      | None ->
+          Option.value cfg.Runtime.Runtime.profile_path
+            ~default:"out/profile.json"
+    in
+    Platform.export ~profile_path:path platform;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Continuously profile a canned stack: span-based flamegraph, tail \
+          attribution, and the sampler timeline exported as profile JSON")
+    Term.(const run $ conf_pos $ ops $ threads $ seed $ period_us $ top_n $ out)
+
+let top_cmd =
+  let ops = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 2 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let period_us =
+    Arg.(value & opt float 50.0
+         & info [ "period-us" ] ~doc:"sampler period in microseconds")
+  in
+  let run conf ops threads seed period_us =
+    let cfg = parse_run_config conf in
+    let period_ns =
+      if cfg.Runtime.Runtime.profile_period_ns > 0.0 then
+        cfg.Runtime.Runtime.profile_period_ns
+      else period_us *. 1000.0
+    in
+    let platform =
+      Platform.boot ~nworkers:cfg.Runtime.Runtime.nworkers ~seed
+        ~profile_period:period_ns ()
+    in
+    drive_obs_workload platform ~ops ~threads;
+    match Runtime.Runtime.timeseries (Platform.runtime platform) with
+    | None -> prerr_endline "profiling sampler not enabled"; exit 1
+    | Some ts ->
+        Printf.printf "%d series, %d ticks at %.1f us:\n"
+          (List.length (Obs.Timeseries.series_names ts))
+          (Obs.Timeseries.ticks ts) (period_ns /. 1e3);
+        print_value_table
+          (List.map
+             (fun (s : Obs.Timeseries.stat) ->
+               ( s.Obs.Timeseries.st_name,
+                 Printf.sprintf "mean %10.2f   max %10.2f   last %10.2f"
+                   s.Obs.Timeseries.st_mean s.Obs.Timeseries.st_max
+                   s.Obs.Timeseries.st_last ))
+             (Obs.Timeseries.stats ts))
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Drive a canned stack with the continuous-profiling sampler on and \
+          summarize every utilization/occupancy series")
+    Term.(const run $ conf_pos $ ops $ threads $ seed $ period_us)
 
 (* ---------------- mods ---------------- *)
 
@@ -577,4 +706,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ validate_cmd; run_cmd; faults_cmd; cache_cmd; metrics_cmd; trace_cmd; mods_cmd ]))
+          [
+            validate_cmd; run_cmd; faults_cmd; cache_cmd; metrics_cmd;
+            trace_cmd; profile_cmd; top_cmd; mods_cmd;
+          ]))

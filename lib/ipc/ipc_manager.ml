@@ -6,6 +6,7 @@ type 'req t = {
   engine : Engine.t;
   shm : Shmem.t;
   metrics : Lab_obs.Metrics.t option;
+  timeseries : Lab_obs.Timeseries.t option;
   mutable next_qp_id : int;
   table : (int, 'req Qp.t) Hashtbl.t;
   mutable order : int list;  (* allocation order, newest first *)
@@ -20,11 +21,12 @@ let handshake_ns = 30_000.0
 
 let queue_region_bytes = 1 lsl 20
 
-let create ?metrics engine =
+let create ?metrics ?timeseries engine =
   {
     engine;
     shm = Shmem.create ();
     metrics;
+    timeseries;
     next_qp_id = 0;
     table = Hashtbl.create 64;
     order = [];
@@ -73,6 +75,18 @@ let create_qp t conn ?sq_depth ?cq_depth ~role ~ordering () =
   Hashtbl.replace t.table id qp;
   Hashtbl.replace t.owners id conn.pid;
   t.order <- id :: t.order;
+  (* Queue pairs appear as clients connect, so their occupancy series
+     self-register with the continuous-profiling sampler here. The
+     probes only read ring counters. *)
+  (match t.timeseries with
+  | Some ts ->
+      Lab_obs.Timeseries.add_series ts
+        (Printf.sprintf "ipc.qp%d.sq_depth" id)
+        (fun _now -> Stdlib.float_of_int (Qp.sq_depth qp));
+      Lab_obs.Timeseries.add_series ts
+        (Printf.sprintf "ipc.qp%d.cq_depth" id)
+        (fun _now -> Stdlib.float_of_int (Qp.cq_depth qp))
+  | None -> ());
   qp
 
 let qp t id = Hashtbl.find_opt t.table id

@@ -13,10 +13,16 @@ type connection = {
   region : Shmem.region_id;  (** region holding this client's primary queues *)
 }
 
-val create : ?metrics:Lab_obs.Metrics.t -> Lab_sim.Engine.t -> 'req t
+val create :
+  ?metrics:Lab_obs.Metrics.t ->
+  ?timeseries:Lab_obs.Timeseries.t ->
+  Lab_sim.Engine.t ->
+  'req t
 (** [?metrics] is handed to every queue pair this manager allocates, so
     their doorbell/stall counters appear in the registry under
-    ["ipc.qp<id>."]. *)
+    ["ipc.qp<id>."].  [?timeseries] registers per-QP occupancy probes
+    (["ipc.qp<id>.sq_depth"], ["ipc.qp<id>.cq_depth"]) with the
+    continuous-profiling sampler as queue pairs are created. *)
 
 val engine : 'req t -> Lab_sim.Engine.t
 

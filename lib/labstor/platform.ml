@@ -15,7 +15,8 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(devices = [ Profile.Nvme ]) ?default_device ?(seed = 0xC0FFEE)
     ?(workers_busy_poll = false) ?(worker_batch_size = 1)
     ?(worker_max_inflight = 16) ?fault_rates ?fault_script
-    ?(trace_sample = 0) ?trace_path ?metrics_path () =
+    ?(trace_sample = 0) ?trace_path ?metrics_path
+    ?(profile_period = 0.0) ?profile_path () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
@@ -51,6 +52,8 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       trace_sample;
       trace_path;
       metrics_path;
+      profile_period_ns = profile_period;
+      profile_path;
     }
   in
   let rt =
@@ -87,6 +90,17 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
             (Printf.sprintf "fault.%s.injected_total" (backend_name k))
             (fun () -> Stdlib.float_of_int (Lab_sim.Fault.injected_total f)))
     devs;
+  (* Device queue occupancy joins the profiling sampler: the runtime
+     registered the CPU/worker/QP/cache probes, the devices are ours. *)
+  (match Lab_runtime.Runtime.timeseries rt with
+  | Some ts ->
+      List.iter
+        (fun (k, d) ->
+          Lab_obs.Timeseries.add_series ts
+            (Printf.sprintf "device.%s.outstanding" (backend_name k))
+            (fun _now -> Stdlib.float_of_int (Device.outstanding d)))
+        devs
+  | None -> ());
   Lab_runtime.Runtime.start rt;
   { m; rt; devs; backends; next_pid = 1000 }
 
@@ -114,18 +128,46 @@ let sync_fault_counters t =
             (Lab_sim.Fault.injected f))
     t.devs
 
+(* Artifacts default under an output directory ("out/…"), which may not
+   exist yet; create missing parents so export never fails on a fresh
+   checkout. *)
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
 let write_file path contents =
+  ensure_dir (Filename.dirname path);
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
 
-let export ?trace_path ?metrics_path t =
+(* The profile artifact: the sampler's timeline next to the span-based
+   flamegraph + tail attribution. Both halves are byte-stable, so two
+   same-seed runs export identical bytes. *)
+let profile_json t =
+  let timeline =
+    match Lab_runtime.Runtime.timeseries t.rt with
+    | Some ts -> Lab_obs.Timeseries.to_json ts
+    | None -> Lab_obs.Timeseries.empty_json
+  in
+  let spans =
+    Lab_obs.Profile.to_json
+      (Lab_obs.Profile.of_events (Lab_obs.Trace.events (tracer t)))
+  in
+  Printf.sprintf "{\"timeline\":%s,\n\"spans\":%s}\n" timeline spans
+
+let export ?trace_path ?metrics_path ?profile_path t =
   let cfg = Lab_runtime.Runtime.config t.rt in
   let pick override conf =
     match override with Some _ -> override | None -> conf
   in
   (match pick trace_path cfg.Lab_runtime.Runtime.trace_path with
   | Some p -> write_file p (Lab_obs.Trace.to_chrome_json (tracer t))
+  | None -> ());
+  (match pick profile_path cfg.Lab_runtime.Runtime.profile_path with
+  | Some p -> write_file p (profile_json t)
   | None -> ());
   match pick metrics_path cfg.Lab_runtime.Runtime.metrics_path with
   | Some p ->

@@ -21,6 +21,8 @@ val boot :
   ?trace_sample:int ->
   ?trace_path:string ->
   ?metrics_path:string ->
+  ?profile_period:float ->
+  ?profile_path:string ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
@@ -40,7 +42,14 @@ val boot :
     [metrics_path] are where {!export} writes the Chrome trace-event
     JSON and the JSONL metrics snapshot. Device counters and service
     percentiles are registered as read-through gauges under
-    ["device.<backend>."]. *)
+    ["device.<backend>."].
+
+    [profile_period] (ns; default 0 = off) enables the continuous
+    profiler: a sampler rides the engine clock at that period recording
+    per-core busy fraction, worker utilization/in-flight, QP and device
+    queue occupancy, and cache dirty backlog; [profile_path] is where
+    {!export} writes the profile JSON (timeline + flamegraph + tail
+    attribution). Combine with [trace_sample] for the span half. *)
 
 val machine : t -> Lab_sim.Machine.t
 
@@ -90,9 +99,20 @@ val metrics : t -> Lab_obs.Metrics.t
 (** The runtime's metrics registry, holding queue-pair, worker, module,
     client, device and fault instruments. *)
 
-val export : ?trace_path:string -> ?metrics_path:string -> t -> unit
+val profile_json : t -> string
+(** The profile artifact as a string:
+    [{"timeline": <sampler series>, "spans": <flamegraph + tail>}].
+    Byte-stable: two same-seed runs produce identical bytes. The
+    timeline half is empty when the platform booted without
+    [profile_period]; the spans half is empty without [trace_sample]. *)
+
+val export :
+  ?trace_path:string -> ?metrics_path:string -> ?profile_path:string ->
+  t -> unit
 (** Writes the observability artifacts: the Chrome trace-event JSON
-    (loadable in Perfetto / [chrome://tracing]) and the JSONL metrics
-    snapshot. Explicit arguments override the paths given to {!boot};
-    either file is skipped when no path is configured for it. Fault
-    counters are synced from the devices' fault plans first. *)
+    (loadable in Perfetto / [chrome://tracing]), the profile JSON
+    ({!profile_json}), and the JSONL metrics snapshot. Explicit
+    arguments override the paths given to {!boot}; a file is skipped
+    when no path is configured for it. Missing parent directories are
+    created. Fault counters are synced from the devices' fault plans
+    first. *)

@@ -125,17 +125,19 @@ type t = {
    "mod.<instance>." ([?instance] defaults to the config name, which is
    the wrapping LabMod's module name — pass the uuid for per-instance
    metrics). Detached counters otherwise; behaviour is identical. *)
-let create ~policy ?metrics ?instance cfg =
+let create ~policy ?metrics ?timeseries ?instance cfg =
   let inst = Option.value instance ~default:cfg.cfg_name in
   (* Probe instantiations (stack validation, `labstor_cli mods`) use the
      reserved "__probe__" uuid and must not pollute the registry. *)
   let metrics = if inst = "__probe__" then None else metrics in
+  let timeseries = if inst = "__probe__" then None else timeseries in
   let counter k =
     Metrics.counter ?reg:metrics (Printf.sprintf "mod.%s.%s" inst k)
   in
   let per_shard =
     Stdlib.max 1 ((cfg.capacity_pages + cfg.nshards - 1) / cfg.nshards)
   in
+  let t =
   {
     cfg;
     shards =
@@ -163,6 +165,20 @@ let create ~policy ?metrics ?instance cfg =
     flush_op_count = counter "flush_ops";
     flush_page_count = counter "flush_pages";
   }
+  in
+  (* Dirty-log depth is the write-back pressure signal; exposing it as a
+     sampled series shows the high/low watermark sawtooth over time. *)
+  (match timeseries with
+  | Some ts ->
+      Lab_obs.Timeseries.add_series ts
+        (Printf.sprintf "mod.%s.dirty_backlog" inst)
+        (fun _now ->
+          Stdlib.float_of_int
+            (Array.fold_left
+               (fun acc sh -> acc + Queue.length sh.dirty_log)
+               0 t.shards))
+  | None -> ());
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Geometry                                                            *)

@@ -80,11 +80,16 @@ type t
 val create :
   policy:policy_factory ->
   ?metrics:Lab_obs.Metrics.t ->
+  ?timeseries:Lab_obs.Timeseries.t ->
   ?instance:string ->
   config -> t
 (** [?metrics] registers the engine's counters under
     ["mod.<instance>."] ([?instance] defaults to the config name);
-    without it the counters are detached but behave identically. *)
+    without it the counters are detached but behave identically.
+    [?timeseries] additionally registers a
+    ["mod.<instance>.dirty_backlog"] occupancy probe with the
+    continuous-profiling sampler.  Both are suppressed for the reserved
+    ["__probe__"] instance. *)
 
 val operate : t -> Labmod.ctx -> Request.t -> Request.result
 

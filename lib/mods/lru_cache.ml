@@ -33,14 +33,14 @@ let est m req =
   ignore m;
   500.0 +. (0.35 *. Stdlib.float_of_int (Request.bytes_of req))
 
-let factory ?metrics () : Registry.factory =
+let factory ?metrics ?timeseries () : Registry.factory =
  fun ~uuid ~attrs ->
   let cfg = Cache_core.config_of_attrs ~name attrs in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Cache
     ~state:
       (State
          (Cache_core.create ~policy:Cache_core.lru_policy ?metrics
-            ~instance:uuid cfg))
+            ?timeseries ~instance:uuid cfg))
     {
       Labmod.operate;
       est_processing_time = est;

@@ -20,8 +20,13 @@ open Lab_core
 
 val name : string
 
-val factory : ?metrics:Lab_obs.Metrics.t -> unit -> Registry.factory
-(** [?metrics] registers the cache counters under ["mod.<uuid>."]. *)
+val factory :
+  ?metrics:Lab_obs.Metrics.t ->
+  ?timeseries:Lab_obs.Timeseries.t ->
+  unit ->
+  Registry.factory
+(** [?metrics] registers the cache counters under ["mod.<uuid>."];
+    [?timeseries] adds the ["mod.<uuid>.dirty_backlog"] sampler probe. *)
 
 val core : Labmod.t -> Cache_core.t option
 (** The underlying engine, for counter inspection. *)

@@ -6,7 +6,7 @@ type backend = { blk : Lab_kernel.Blk.t; device : Device.t }
 let backend_of_device machine device =
   { blk = Lab_kernel.Blk.create machine device ~sched:Lab_kernel.Blk.Noop; device }
 
-let install ?metrics registry ~machine ~backends ~default_backend ~nworkers =
+let install ?metrics ?timeseries registry ~machine ~backends ~default_backend ~nworkers =
   ignore machine;
   let default =
     match List.assoc_opt default_backend backends with
@@ -26,8 +26,8 @@ let install ?metrics registry ~machine ~backends ~default_backend ~nworkers =
   let total_blocks blk = Profile.blocks (Device.profile (Lab_kernel.Blk.device blk)) in
   reg "labfs" (Labfs.factory ~total_blocks:(total_blocks default.blk) ~nworkers ());
   reg "labkvs" (Labkvs.factory ~total_blocks:(total_blocks default.blk) ~nworkers ());
-  reg "lru_cache" (Lru_cache.factory ?metrics ());
-  reg "arc_cache" (Arc_cache.factory ?metrics ());
+  reg "lru_cache" (Lru_cache.factory ?metrics ?timeseries ());
+  reg "arc_cache" (Arc_cache.factory ?metrics ?timeseries ());
   reg "permissions" Permissions.factory;
   reg "compress" Compress_mod.factory;
   reg "consistency" Consistency_mod.factory;

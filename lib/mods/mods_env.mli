@@ -14,6 +14,7 @@ val backend_of_device : Lab_sim.Machine.t -> Lab_device.Device.t -> backend
 
 val install :
   ?metrics:Lab_obs.Metrics.t ->
+  ?timeseries:Lab_obs.Timeseries.t ->
   Registry.t ->
   machine:Lab_sim.Machine.t ->
   backends:(string * backend) list ->
@@ -22,7 +23,9 @@ val install :
   unit
 (** [?metrics] is threaded to the cache and scheduler factories so
     every instance they build registers its counters (under
-    ["mod.<uuid>."]) in that registry.
+    ["mod.<uuid>."]) in that registry.  [?timeseries] is threaded to
+    the cache factories so each instance registers its
+    ["mod.<uuid>.dirty_backlog"] probe with the profiling sampler.
 
     Registers: [labfs], [labkvs], [lru_cache], [permissions],
     [compress], [noop_sched], [blkswitch_sched], [dummy], plus

@@ -99,7 +99,11 @@ let bucket_of v =
     let _, e = Float.frexp v in
     if e < 0 then 0 else if e >= nbuckets then nbuckets - 1 else e
 
+(* Clamp at record time, not only at export: one NaN added to [h_sum]
+   would poison the sum (and anything derived from it) forever, and an
+   inf would survive the exporter's per-value clamp via arithmetic. *)
 let observe h v =
+  let v = if Float.is_finite v then v else 0.0 in
   let i = bucket_of v in
   h.buckets.(i) <- h.buckets.(i) + 1;
   h.h_count <- h.h_count + 1;
@@ -172,7 +176,11 @@ let to_list t =
       let v =
         match inst with
         | Counter c -> V_counter c.c
-        | Gauge f -> V_gauge (f ())
+        | Gauge f ->
+            (* A pathological gauge (NaN/inf callback) is clamped at
+               read time so no consumer of [to_list] sees it. *)
+            let g = f () in
+            V_gauge (if Float.is_finite g then g else 0.0)
         | Histogram h -> V_histogram (snapshot_hist h)
       in
       (name, v) :: acc)

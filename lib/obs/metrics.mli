@@ -47,6 +47,10 @@ val histogram : ?reg:t -> string -> histogram
 (** Interned like {!counter}; detached without [~reg]. *)
 
 val observe : histogram -> float -> unit
+(** [observe h v] records [v]; non-finite values are clamped to 0 at
+    record time, so one pathological observation cannot poison the
+    running sum or the quantiles. *)
+
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 val quantile : histogram -> float -> float
@@ -70,7 +74,9 @@ type hist_snapshot = {
 type value = V_counter of int | V_gauge of float | V_histogram of hist_snapshot
 
 val to_list : t -> (string * value) list
-(** Snapshot of every instrument, sorted by name (deterministic). *)
+(** Snapshot of every instrument, sorted by name (deterministic).
+    Gauge callbacks returning non-finite values are clamped to 0 at
+    read time. *)
 
 val to_jsonl : t -> string
 (** One JSON object per line, sorted by name; floats are fixed-format

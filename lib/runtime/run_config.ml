@@ -64,6 +64,11 @@ let of_yaml node =
         trace_sample = geti "trace_sample" d.Runtime.trace_sample;
         trace_path = gets "trace_path" d.Runtime.trace_path;
         metrics_path = gets "metrics_path" d.Runtime.metrics_path;
+        profile_period_ns =
+          getf "profile_period_us"
+            (d.Runtime.profile_period_ns /. 1000.0)
+          *. 1000.0;
+        profile_path = gets "profile_path" d.Runtime.profile_path;
       }
 
 let parse text =

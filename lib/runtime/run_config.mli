@@ -11,8 +11,10 @@
     admin_period_us: 1000
     worker_spin_us: 5
     trace_sample: 100       # trace 1-in-N requests (0 = off)
-    trace_path: trace.json
-    metrics_path: metrics.jsonl
+    trace_path: out/trace.json
+    metrics_path: out/metrics.jsonl
+    profile_period_us: 50   # sampler period (0 = profiling off)
+    profile_path: out/profile.json
     policy:
       kind: dynamic        # static | round_robin | dynamic
       max_workers: 8

@@ -15,6 +15,8 @@ type config = {
   trace_sample : int;
   trace_path : string option;
   metrics_path : string option;
+  profile_period_ns : float;  (* sampler period; <= 0 disables profiling *)
+  profile_path : string option;
 }
 
 let default_config =
@@ -30,6 +32,8 @@ let default_config =
     trace_sample = 0;
     trace_path = None;
     metrics_path = None;
+    profile_period_ns = 0.0;
+    profile_path = None;
   }
 
 type qstat = {
@@ -55,6 +59,7 @@ type t = {
   tracer : Lab_obs.Trace.t;
   metrics : Lab_obs.Metrics.t;
   service_hist : Lab_obs.Metrics.histogram;
+  timeseries : Lab_obs.Timeseries.t option;
 }
 
 let machine t = t.machine
@@ -74,6 +79,8 @@ let config t = t.cfg
 let tracer t = t.tracer
 
 let metrics t = t.metrics
+
+let timeseries t = t.timeseries
 
 let next_request_id t =
   t.req_counter <- t.req_counter + 1;
@@ -144,8 +151,17 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
   let reg = Registry.create () in
   let metrics = Lab_obs.Metrics.create () in
   let tracer = Lab_obs.Trace.create ~sample:config.trace_sample () in
+  (* The continuous-profiling sampler. Created only when a period is
+     configured: with profiling off, no Timeseries exists, no probes are
+     registered and no Engine tick hook is installed — the run is
+     byte-identical to one built before this feature existed. *)
+  let timeseries =
+    if config.profile_period_ns > 0.0 then
+      Some (Lab_obs.Timeseries.create ~period:config.profile_period_ns ())
+    else None
+  in
   Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
-    ~nworkers:config.nworkers ~metrics;
+    ~nworkers:config.nworkers ~metrics ?timeseries;
   let default =
     match List.assoc_opt default_backend backends with
     | Some b -> b
@@ -174,7 +190,7 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          machine;
          reg;
          ns = Namespace.create ();
-         ipc_mgr = Ipc_manager.create ~metrics machine.Machine.engine;
+         ipc_mgr = Ipc_manager.create ~metrics ?timeseries machine.Machine.engine;
          mm =
            Module_manager.create machine reg
              ~load_code:(make_load_code machine default);
@@ -189,6 +205,7 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          tracer;
          metrics;
          service_hist = Lab_obs.Metrics.histogram ~reg:metrics "runtime.service_ns";
+         timeseries;
        })
   in
   let t = Lazy.force t in
@@ -202,6 +219,47 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
       Lab_obs.Metrics.gauge_fn metrics (name "active_ns") (fun () ->
           Worker.active_ns w))
     t.pool;
+  (* Profiling probes + the sampler's clock hook. Each utilization probe
+     differences a cumulative counter against its previous sample, so
+     the series reads as a per-interval fraction rather than a
+     cumulative ramp; the closures' refs are advanced only by the
+     deterministic tick, so the series is deterministic too. *)
+  (match timeseries with
+  | Some ts ->
+      let period = config.profile_period_ns in
+      let frac d = Float.min 1.0 (Float.max 0.0 (d /. period)) in
+      let cores_done = Hashtbl.create 8 in
+      Array.iteri
+        (fun i w ->
+          let core =
+            (config.worker_core_base + i) mod Cpu.ncores machine.Machine.cpu
+          in
+          if not (Hashtbl.mem cores_done core) then begin
+            Hashtbl.replace cores_done core ();
+            let prev_busy = ref 0.0 in
+            Lab_obs.Timeseries.add_series ts
+              (Printf.sprintf "cpu.core%d.busy_frac" core)
+              (fun now ->
+                let b = Cpu.busy_ns_upto machine.Machine.cpu core ~now in
+                let d = b -. !prev_busy in
+                prev_busy := b;
+                frac d)
+          end;
+          let prev_active = ref 0.0 in
+          Lab_obs.Timeseries.add_series ts
+            (Printf.sprintf "runtime.worker%d.util" (Worker.id w))
+            (fun _now ->
+              let a = Worker.active_ns w in
+              let d = a -. !prev_active in
+              prev_active := a;
+              frac d);
+          Lab_obs.Timeseries.add_series ts
+            (Printf.sprintf "runtime.worker%d.inflight" (Worker.id w))
+            (fun _now -> Stdlib.float_of_int (Worker.inflight w)))
+        t.pool;
+      Engine.set_tick machine.Machine.engine ~period (fun now ->
+          Lab_obs.Timeseries.tick ts ~now)
+  | None -> ());
   t
 
 (* The paper's EstProcessingTime path: ask every LabMod on the queued

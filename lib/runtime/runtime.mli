@@ -25,6 +25,14 @@ type config = {
       (** where {!Platform.export} writes the Chrome trace-event JSON *)
   metrics_path : string option;
       (** where {!Platform.export} writes the JSONL metrics snapshot *)
+  profile_period_ns : float;
+      (** continuous-profiling sampler period; [<= 0.0] (the default)
+          disables the sampler entirely — no probes are registered and
+          no clock hook is installed, so a run is indistinguishable
+          from one without profiling support *)
+  profile_path : string option;
+      (** where {!Platform.export} writes the profile JSON (sampler
+          timeline + span-based flamegraph and tail attribution) *)
 }
 
 val default_config : config
@@ -62,6 +70,13 @@ val tracer : t -> Lab_obs.Trace.t
 val metrics : t -> Lab_obs.Metrics.t
 (** The metrics registry: queue-pair, worker, module, client and (via
     {!Platform}) device/fault instruments all live here. *)
+
+val timeseries : t -> Lab_obs.Timeseries.t option
+(** The continuous-profiling sampler, present iff the config's
+    [profile_period_ns] is positive.  Its probes cover per-core busy
+    fraction, per-worker utilization and in-flight window occupancy,
+    per-QP submission/completion queue depth, and per-cache-instance
+    dirty-log depth; {!Platform} adds device queue occupancy. *)
 
 val start : t -> unit
 

@@ -79,6 +79,8 @@ let parked t = t.is_parked
 
 let processed t = t.done_count
 
+let inflight t = t.inflight
+
 let active_ns t =
   if t.is_parked then t.active
   else t.active +. (Engine.now t.machine.Machine.engine -. t.awake_since)

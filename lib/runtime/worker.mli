@@ -63,6 +63,10 @@ val parked : t -> bool
 
 val processed : t -> int
 
+val inflight : t -> int
+(** Requests currently running as coroutines (the asynchronous window
+    occupancy); sampled by the continuous profiler. *)
+
 val active_ns : t -> float
 (** Total awake time (processing + polling), the utilization measure. *)
 

@@ -5,6 +5,11 @@ type core = {
   mutable last_thread : thread_id option;
   mutable busy : float;
   mutable switches : int;
+  (* End time of the burst currently charged to [busy]. The semaphore
+     serializes bursts, so at most one is in flight per core; a sampler
+     asking for busy time up to an instant inside the burst subtracts
+     the not-yet-elapsed overhang (interval accounting). *)
+  mutable burst_end : float;
 }
 
 type t = { costs : Costs.t; cores : core array; affinity : (thread_id, int) Hashtbl.t }
@@ -12,7 +17,13 @@ type t = { costs : Costs.t; cores : core array; affinity : (thread_id, int) Hash
 let create ?(costs = Costs.default) ~ncores () =
   if ncores <= 0 then invalid_arg "Cpu.create: ncores must be positive";
   let make_core _ =
-    { lock = Semaphore.create 1; last_thread = None; busy = 0.0; switches = 0 }
+    {
+      lock = Semaphore.create 1;
+      last_thread = None;
+      busy = 0.0;
+      switches = 0;
+      burst_end = 0.0;
+    }
   in
   { costs; cores = Array.init ncores make_core; affinity = Hashtbl.create 64 }
 
@@ -43,6 +54,7 @@ let compute t ~thread ?core ns =
   c.last_thread <- Some thread;
   let total = ns +. switch in
   c.busy <- c.busy +. total;
+  c.burst_end <- Engine.now_here () +. total;
   Engine.wait total;
   Semaphore.release c.lock
 
@@ -52,6 +64,17 @@ let context_switches t =
 let busy_ns t = Array.fold_left (fun acc c -> acc +. c.busy) 0.0 t.cores
 
 let busy_ns_of_core t i = t.cores.(i).busy
+
+(* Busy nanoseconds of core [i] accumulated strictly up to [now]: the
+   whole-burst charge made at burst start minus the part of an
+   in-flight burst that lies beyond [now]. Exact for any [now] between
+   the previous and current engine event, which is what gives a
+   periodic sampler per-interval busy fractions instead of attributing
+   a long burst entirely to the interval it began in. *)
+let busy_ns_upto t i ~now =
+  let c = t.cores.(i) in
+  let overhang = Float.max 0.0 (c.burst_end -. now) in
+  Float.max 0.0 (c.busy -. overhang)
 
 let utilization t ~elapsed =
   if elapsed <= 0.0 then 0.0

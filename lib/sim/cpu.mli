@@ -33,6 +33,14 @@ val busy_ns : t -> float
 
 val busy_ns_of_core : t -> int -> float
 
+val busy_ns_upto : t -> int -> now:float -> float
+(** Busy nanoseconds of one core accumulated strictly up to [now]:
+    unlike {!busy_ns_of_core} (which charges a whole burst the moment
+    it starts), the portion of an in-flight burst beyond [now] is
+    excluded. Two calls bracketing a sampling interval therefore yield
+    the exact busy time {e within} that interval — the per-core
+    utilization-timeline primitive. *)
+
 val utilization : t -> elapsed:float -> float
 (** Busy fraction of the whole machine over [elapsed] ns: in [0,1]. *)
 

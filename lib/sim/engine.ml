@@ -7,6 +7,15 @@ type t = {
   events : (key, unit -> unit) Heap.t;
   mutable seq : int;
   mutable executed : int;
+  (* Virtual-time sampling hook: fired at every multiple of
+     [tick_period] crossed while advancing the clock. Deliberately NOT
+     a heap event — a self-rescheduling sampler event would keep the
+     engine alive forever and perturb [events_executed]; the hook rides
+     on clock advancement instead, so enabling it cannot change a run's
+     event count, ordering, or final virtual time. *)
+  mutable tick_period : float;
+  mutable tick_fn : (float -> unit) option;
+  mutable next_tick : float;
 }
 
 exception Stopped
@@ -23,9 +32,42 @@ let compare_key a b =
   if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () =
-  { now = 0.0; events = Heap.create ~cmp:compare_key (); seq = 0; executed = 0 }
+  {
+    now = 0.0;
+    events = Heap.create ~cmp:compare_key ();
+    seq = 0;
+    executed = 0;
+    tick_period = 0.0;
+    tick_fn = None;
+    next_tick = Float.infinity;
+  }
 
 let now t = t.now
+
+let set_tick t ~period f =
+  if period <= 0.0 then invalid_arg "Engine.set_tick: period must be positive";
+  t.tick_period <- period;
+  t.tick_fn <- Some f;
+  t.next_tick <- t.now +. period
+
+let clear_tick t =
+  t.tick_period <- 0.0;
+  t.tick_fn <- None;
+  t.next_tick <- Float.infinity
+
+(* Advance the clock to [time], firing the tick hook at every period
+   boundary crossed. The clock is set to the boundary before each call
+   so hook code reading [now] sees the sample instant. *)
+let advance t time =
+  (match t.tick_fn with
+  | Some f when t.tick_period > 0.0 ->
+      while t.next_tick <= time do
+        t.now <- t.next_tick;
+        f t.next_tick;
+        t.next_tick <- t.next_tick +. t.tick_period
+      done
+  | _ -> ());
+  t.now <- time
 
 let schedule t time thunk =
   t.seq <- t.seq + 1;
@@ -69,6 +111,8 @@ let engine_of_process () =
   | Some t -> t
   | None -> invalid_arg "Engine.wait/suspend called outside a process"
 
+let now_here () = (engine_of_process ()).now
+
 let wait d =
   let t = engine_of_process () in
   Effect.perform (Wait (t, d))
@@ -78,7 +122,7 @@ let suspend register =
   Effect.perform (Suspend (t, register))
 
 let exec_event t k thunk =
-  t.now <- k.time;
+  advance t k.time;
   t.executed <- t.executed + 1;
   let saved = !current_engine in
   current_engine := Some t;
@@ -112,7 +156,7 @@ let run ?until t =
         | None -> ()
         | Some (k, thunk) ->
             if k.time > limit then begin
-              t.now <- limit;
+              advance t limit;
               Heap.push t.events k thunk
             end
             else begin

@@ -28,6 +28,11 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
 val spawn_at : t -> float -> (unit -> unit) -> unit
 (** [spawn_at t time f] starts [f] at absolute virtual [time]. *)
 
+val now_here : unit -> float
+(** Current virtual time of the calling process's engine. Must be
+    called from within a process (like {!wait}); lets library code read
+    the clock without carrying an engine handle. *)
+
 val wait : float -> unit
 (** [wait d] suspends the calling process for [d] simulated nanoseconds.
     Negative [d] is treated as 0. Must be called from within a process. *)
@@ -52,6 +57,23 @@ val active : t -> bool
 
 val events_executed : t -> int
 (** Total event count; useful for regression tests on determinism. *)
+
+val set_tick : t -> period:float -> (float -> unit) -> unit
+(** Installs the virtual-time sampling hook: [f] is called at every
+    multiple of [period] the clock crosses while executing events, with
+    the boundary time (and [now] set to it for the call's duration).
+
+    The hook is {e not} an engine event: it never appears in the event
+    heap, does not count in {!events_executed}, cannot keep the engine
+    alive, and fires only while real events still advance the clock —
+    so installing it cannot change a run's event count, event ordering,
+    or final virtual time. The callback must only read simulation
+    state: calling {!wait}, {!suspend}, or {!spawn} from it is
+    unsupported. One hook per engine; installing replaces the previous
+    one. @raise Invalid_argument if [period <= 0]. *)
+
+val clear_tick : t -> unit
+(** Removes the sampling hook. *)
 
 exception Stopped
 (** Raised inside processes that the engine terminates via {!stop_all}. *)

@@ -6,6 +6,8 @@
 open Labstor
 module Metrics = Lab_obs.Metrics
 module Trace = Lab_obs.Trace
+module Timeseries = Lab_obs.Timeseries
+module Profile = Lab_obs.Profile
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
@@ -104,6 +106,32 @@ let test_nonfinite_clamped () =
          (String.fold_left (fun acc c -> acc || c = 'n') false
             (String.sub j 20 (String.length j - 20))))
 
+let test_observe_clamps_nonfinite () =
+  (* Clamped at record time: one NaN must not poison the running sum. *)
+  let h = Metrics.histogram "clamp" in
+  Metrics.observe h Float.nan;
+  Metrics.observe h Float.infinity;
+  Metrics.observe h Float.neg_infinity;
+  Metrics.observe h 8.0;
+  Alcotest.(check int) "all observations counted" 4 (Metrics.hist_count h);
+  Alcotest.(check bool) "sum stayed finite" true
+    (Float.is_finite (Metrics.hist_sum h));
+  Alcotest.(check (float 1e-9)) "non-finite recorded as 0" 8.0
+    (Metrics.hist_sum h)
+
+let test_gauge_clamped_at_read () =
+  (* Clamped in to_list itself, not only in the JSONL exporter, so every
+     consumer of snapshots sees finite values. *)
+  let reg = Metrics.create () in
+  Metrics.gauge_fn reg "nan" (fun () -> Float.nan);
+  Metrics.gauge_fn reg "inf" (fun () -> Float.infinity);
+  List.iter
+    (fun (_, v) ->
+      match v with
+      | Metrics.V_gauge g -> Alcotest.(check (float 0.0)) "clamped to 0" 0.0 g
+      | _ -> Alcotest.fail "expected gauges")
+    (Metrics.to_list reg)
+
 (* ------------------------------------------------------------------ *)
 (* Span tracer                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -152,6 +180,152 @@ let test_chrome_json_stable () =
     (String.length a > 0 && String.sub a 0 1 = "{")
 
 (* ------------------------------------------------------------------ *)
+(* Timeseries sampler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_ticks_and_samples () =
+  let ts = Timeseries.create ~capacity:8 ~period:10.0 () in
+  let calls = ref 0 in
+  Timeseries.add_series ts "probe.calls" (fun _now ->
+      incr calls;
+      Stdlib.float_of_int !calls);
+  Timeseries.add_series ts "probe.time" (fun now -> now);
+  Timeseries.tick ts ~now:10.0;
+  Timeseries.tick ts ~now:20.0;
+  Timeseries.tick ts ~now:30.0;
+  Alcotest.(check int) "ticks" 3 (Timeseries.ticks ts);
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "samples oldest first"
+    [ (10.0, 1.0); (20.0, 2.0); (30.0, 3.0) ]
+    (Timeseries.samples ts "probe.calls");
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "probe sees the sample instant"
+    [ (10.0, 10.0); (20.0, 20.0); (30.0, 30.0) ]
+    (Timeseries.samples ts "probe.time");
+  Alcotest.(check (list string)) "names sorted"
+    [ "probe.calls"; "probe.time" ]
+    (Timeseries.series_names ts)
+
+let test_timeseries_ring_wrap () =
+  let ts = Timeseries.create ~capacity:4 ~period:1.0 () in
+  Timeseries.add_series ts "s" (fun now -> now);
+  for i = 1 to 6 do
+    Timeseries.tick ts ~now:(Stdlib.float_of_int i)
+  done;
+  (* Capacity 4: the two oldest samples were overwritten. *)
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "last four, oldest first"
+    [ (3.0, 3.0); (4.0, 4.0); (5.0, 5.0); (6.0, 6.0) ]
+    (Timeseries.samples ts "s");
+  match Timeseries.stats ts with
+  | [ s ] ->
+      Alcotest.(check int) "count" 4 s.Timeseries.st_count;
+      Alcotest.(check (float 1e-9)) "mean" 4.5 s.Timeseries.st_mean;
+      Alcotest.(check (float 0.0)) "max" 6.0 s.Timeseries.st_max;
+      Alcotest.(check (float 0.0)) "last" 6.0 s.Timeseries.st_last
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 stat, got %d" (List.length l))
+
+let test_timeseries_guards () =
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Timeseries.create: period must be positive") (fun () ->
+      ignore (Timeseries.create ~period:0.0 ()));
+  let ts = Timeseries.create ~period:1.0 () in
+  Timeseries.add_series ts "dup" (fun _ -> 0.0);
+  Alcotest.check_raises "duplicate series"
+    (Invalid_argument "Timeseries.add_series: \"dup\" already registered")
+    (fun () -> Timeseries.add_series ts "dup" (fun _ -> 1.0));
+  (* Non-finite probe values are clamped at record time. *)
+  Timeseries.add_series ts "nan" (fun _ -> Float.nan);
+  Timeseries.tick ts ~now:1.0;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "nan clamped" [ (1.0, 0.0) ]
+    (Timeseries.samples ts "nan")
+
+let test_timeseries_json_stable () =
+  let build () =
+    let ts = Timeseries.create ~capacity:8 ~period:5.0 () in
+    Timeseries.add_series ts "b" (fun now -> now *. 2.0);
+    Timeseries.add_series ts "a" (fun now -> now);
+    Timeseries.tick ts ~now:5.0;
+    Timeseries.tick ts ~now:10.0;
+    Timeseries.to_json ts
+  in
+  let a = build () in
+  Alcotest.(check string) "byte-identical" a (build ());
+  (* Series sorted by name in the export. *)
+  let find_sub sub =
+    let n = String.length a and m = String.length sub in
+    let rec go i =
+      if i + m > n then -1 else if String.sub a i m = sub then i else go (i + 1)
+    in
+    go 0
+  in
+  let ia = find_sub "\"a\"" and ib = find_sub "\"b\"" in
+  Alcotest.(check bool) "sorted series" true (ia >= 0 && ib >= 0 && ia < ib)
+
+(* ------------------------------------------------------------------ *)
+(* Profile (flamegraph + tail attribution)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One synthetic request: root [0,20] containing stage "work" [0,10]
+   containing mod "cache" [2,8]. *)
+let synthetic_trace () =
+  let tr = Trace.create ~sample:1 () in
+  let fl = Option.get (Trace.start tr ~id:2 ~now:0.0) in
+  Trace.span fl ~name:"cache" ~cat:"mod" ~tid:0 ~t0:2.0 ~t1:8.0 ~args:[];
+  Trace.open_stage fl ~name:"work" ~now:0.0;
+  Trace.close_stage fl ~tid:0 ~now:10.0;
+  Trace.open_stage fl ~name:"rest" ~now:10.0;
+  Trace.finish fl ~tid:0 ~now:20.0;
+  Trace.events tr
+
+let test_profile_flamegraph () =
+  let p = Profile.of_events (synthetic_trace ()) in
+  Alcotest.(check int) "one request" 1 p.Profile.requests;
+  let node key =
+    match List.find_opt (fun n -> n.Profile.pf_key = key) p.Profile.nodes with
+    | Some n -> n
+    | None ->
+        Alcotest.fail
+          (Printf.sprintf "missing key %S among [%s]" key
+             (String.concat "; "
+                (List.map (fun n -> n.Profile.pf_key) p.Profile.nodes)))
+  in
+  let root = node "request" in
+  Alcotest.(check (float 1e-9)) "root total" 20.0 root.Profile.pf_total_ns;
+  (* Stages tile the root exactly: no exclusive time left. *)
+  Alcotest.(check (float 1e-9)) "root self" 0.0 root.Profile.pf_self_ns;
+  let work = node "request;work" in
+  Alcotest.(check (float 1e-9)) "work total" 10.0 work.Profile.pf_total_ns;
+  Alcotest.(check (float 1e-9)) "work self excludes mod" 4.0
+    work.Profile.pf_self_ns;
+  let cache = node "request;work;cache" in
+  Alcotest.(check (float 1e-9)) "mod total" 6.0 cache.Profile.pf_total_ns;
+  Alcotest.(check (float 1e-9)) "mod self" 6.0 cache.Profile.pf_self_ns;
+  ignore (node "request;rest")
+
+let test_profile_tail_and_stability () =
+  let evs = synthetic_trace () in
+  let p = Profile.of_events evs in
+  (* A single request is its own p50 and tail cohort. *)
+  Alcotest.(check (float 1e-9)) "p50 = e2e" 20.0 p.Profile.p50_ns;
+  Alcotest.(check (float 1e-9)) "p99 = e2e" 20.0 p.Profile.p99_ns;
+  Alcotest.(check int) "p50 cohort" 1 p.Profile.p50_cohort;
+  Alcotest.(check int) "tail cohort" 1 p.Profile.tail_cohort;
+  (match
+     List.find_opt (fun r -> r.Profile.tr_stage = "work") p.Profile.tail
+   with
+  | Some r ->
+      Alcotest.(check (float 1e-9)) "stage p50 mean" 10.0
+        r.Profile.tr_p50_mean_ns;
+      Alcotest.(check (float 1e-9)) "stage tail mean" 10.0
+        r.Profile.tr_tail_mean_ns
+  | None -> Alcotest.fail "missing work stage in tail table");
+  Alcotest.(check string) "json byte-stable"
+    (Profile.to_json p)
+    (Profile.to_json (Profile.of_events evs))
+
+(* ------------------------------------------------------------------ *)
 (* Platform-level: determinism, nesting, zero overhead                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -177,8 +351,11 @@ let threads = 2
 
 let ops = 40
 
-let run_platform ~sample =
-  let platform = Platform.boot ~nworkers:2 ~seed:0x0B5 ~trace_sample:sample () in
+let run_platform ?(profile_period = 0.0) ~sample () =
+  let platform =
+    Platform.boot ~nworkers:2 ~seed:0x0B5 ~trace_sample:sample ~profile_period
+      ()
+  in
   (match Platform.mount platform stack_spec with
   | Ok _ -> ()
   | Error e -> Alcotest.fail ("mount: " ^ e));
@@ -207,7 +384,7 @@ let run_platform ~sample =
 
 let test_run_determinism () =
   let artifacts () =
-    let p = run_platform ~sample:2 in
+    let p = run_platform ~sample:2 () in
     ( Trace.to_chrome_json (Platform.tracer p),
       Metrics.to_jsonl (Platform.metrics p) )
   in
@@ -218,7 +395,7 @@ let test_run_determinism () =
   Alcotest.(check string) "metrics byte-identical" m1 m2
 
 let test_span_nesting () =
-  let p = run_platform ~sample:2 in
+  let p = run_platform ~sample:2 () in
   let evs = Trace.events (Platform.tracer p) in
   Alcotest.(check bool) "nonempty" true (evs <> []);
   (* Index root spans and module-stack stages by request id. *)
@@ -275,7 +452,7 @@ let test_span_nesting () =
 
 let test_zero_overhead_when_off () =
   let run () =
-    let p = run_platform ~sample:0 in
+    let p = run_platform ~sample:0 () in
     let machine = Platform.machine p in
     ( Trace.event_count (Platform.tracer p),
       Platform.now p,
@@ -285,13 +462,42 @@ let test_zero_overhead_when_off () =
   Alcotest.(check int) "no trace events" 0 count0;
   (* A traced run of the same workload must not perturb the simulation:
      identical virtual time and event count. *)
-  let p = run_platform ~sample:1 in
+  let p = run_platform ~sample:1 () in
   let machine = Platform.machine p in
   Alcotest.(check bool) "tracing emitted events" true
     (Trace.event_count (Platform.tracer p) > 0);
   Alcotest.(check (float 0.0)) "same virtual time" elapsed0 (Platform.now p);
   Alcotest.(check int) "same event count" events0
     (Lab_sim.Engine.events_executed machine.Lab_sim.Machine.engine)
+
+let test_sampler_neutrality () =
+  (* The sampler rides the engine clock between events (it is not a
+     heap event), so enabling it must leave the simulation untouched:
+     identical event count and identical final virtual time. *)
+  let observe p =
+    let machine = Platform.machine p in
+    ( Lab_sim.Engine.events_executed machine.Lab_sim.Machine.engine,
+      Platform.now p )
+  in
+  let off = run_platform ~sample:0 () in
+  Alcotest.(check bool) "no sampler when off" true
+    (Runtime.Runtime.timeseries (Platform.runtime off) = None);
+  let on = run_platform ~sample:0 ~profile_period:25_000.0 () in
+  let events0, elapsed0 = observe off in
+  let events1, elapsed1 = observe on in
+  Alcotest.(check int) "same event count" events0 events1;
+  Alcotest.(check (float 0.0)) "same virtual time" elapsed0 elapsed1;
+  (match Runtime.Runtime.timeseries (Platform.runtime on) with
+  | None -> Alcotest.fail "sampler missing with profile_period set"
+  | Some ts ->
+      Alcotest.(check bool) "sampler ticked" true (Timeseries.ticks ts > 0);
+      Alcotest.(check bool) "series registered" true
+        (Timeseries.series_names ts <> []));
+  (* Same-seed profile export is byte-identical. *)
+  let again = run_platform ~sample:0 ~profile_period:25_000.0 () in
+  Alcotest.(check string) "profile json byte-identical"
+    (Platform.profile_json on)
+    (Platform.profile_json again)
 
 let () =
   Alcotest.run "obs"
@@ -306,6 +512,24 @@ let () =
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "jsonl stable" `Quick test_jsonl_stable;
           Alcotest.test_case "non-finite clamped" `Quick test_nonfinite_clamped;
+          Alcotest.test_case "observe clamps non-finite" `Quick
+            test_observe_clamps_nonfinite;
+          Alcotest.test_case "gauge clamped at read" `Quick
+            test_gauge_clamped_at_read;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "ticks and samples" `Quick
+            test_timeseries_ticks_and_samples;
+          Alcotest.test_case "ring wrap" `Quick test_timeseries_ring_wrap;
+          Alcotest.test_case "guards" `Quick test_timeseries_guards;
+          Alcotest.test_case "json stable" `Quick test_timeseries_json_stable;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "flamegraph" `Quick test_profile_flamegraph;
+          Alcotest.test_case "tail and stability" `Quick
+            test_profile_tail_and_stability;
         ] );
       ( "trace",
         [
@@ -319,5 +543,7 @@ let () =
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "zero overhead when off" `Quick
             test_zero_overhead_when_off;
+          Alcotest.test_case "sampler neutrality" `Quick
+            test_sampler_neutrality;
         ] );
     ]
