@@ -35,6 +35,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "profile",
       "Continuous profiling: utilization timelines & bottleneck attribution",
       Exp_profile.run );
+    ( "lvm",
+      "Volume manager: mirrored redundancy, degraded mode & online rebuild",
+      Exp_lvm.run );
   ]
 
 let usage () =

@@ -38,6 +38,14 @@ dune exec bench/main.exe -- profile --smoke
 test -s BENCH_profile.json
 dune exec bin/bench_diff.exe -- bench/baselines/BENCH_profile.json BENCH_profile.json
 
+echo "== lvm smoke (--smoke) =="
+# Asserts mirror availability under single-leg loss, bounded degraded
+# p99, rebuild completion (frac = 1.0), journal-replay consistency and
+# same-seed determinism; exits nonzero on violation.
+dune exec bench/main.exe -- lvm --smoke
+test -s BENCH_lvm.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_lvm.json BENCH_lvm.json
+
 echo "== labstor_cli metrics smoke =="
 dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
 test -s out/metrics.jsonl

@@ -240,6 +240,10 @@ let faults_cmd =
       (Sim.Stats.percentile lat 50.0 /. 1e3)
       (Sim.Stats.percentile lat 99.0 /. 1e3);
     Printf.printf "  failed        %d of %d surfaced to the application\n" !failed total;
+    Printf.printf
+      "  errno         EIO/ETORN = transient media error (client retries in \
+       place); ENODEV = device offline (fail-over: client requeues, mirrors \
+       degrade)\n";
     (match Platform.fault_plan platform Device.Profile.Nvme with
     | Some plan ->
         print_counter_row "injected"
@@ -260,6 +264,140 @@ let faults_cmd =
     (Cmd.info "faults"
        ~doc:"Drive a block workload against a device with a deterministic fault plan and report fault/retry counters")
     Term.(const run $ rate $ timeout_rate $ torn_rate $ seed $ ops $ bytes $ threads $ trace)
+
+(* ---------------- lvm ---------------- *)
+
+let lvm_stack_spec =
+  {|
+mount: "blk::/vol"
+dag:
+  - uuid: lvm0
+    mod: lab_lvm
+    attrs:
+      raid: 1
+      legs: [nvme, nvme2]
+|}
+
+let lvm_cmd =
+  let extents =
+    Arg.(value & opt int 32 & info [ "extents" ] ~doc:"1 MiB extents to populate")
+  in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"reads per thread per phase") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0x1074 & info [ "seed" ] ~doc:"workload seed") in
+  let rate =
+    Arg.(value & opt float 400.0
+         & info [ "rebuild-rate" ] ~docv:"MBPS" ~doc:"resilver copy-rate cap in MB/s")
+  in
+  let journal = Arg.(value & flag & info [ "journal" ] ~doc:"print the redo journal") in
+  let run extents ops threads seed rate journal =
+    let extent_blocks = 2048 in
+    let platform =
+      Platform.boot ~nworkers:4 ~seed ~lvm_rebuild_rate_mbps:rate
+        ~devices:[ Device.Profile.Nvme; Device.Profile.Nvme ]
+        ()
+    in
+    (match Platform.mount platform lvm_stack_spec with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "mount error: %s\n" e;
+        exit 1);
+    let machine = Platform.machine platform in
+    let mount = "blk::/vol" in
+    let span = extents * extent_blocks in
+    let failures = ref 0 in
+    let run_phase f =
+      Platform.go platform (fun () ->
+          let finished = ref 0 in
+          Sim.Engine.suspend (fun resume ->
+              for th = 0 to threads - 1 do
+                Sim.Engine.spawn machine.Sim.Machine.engine (fun () ->
+                    let c = Platform.client platform ~thread:th () in
+                    f th c;
+                    incr finished;
+                    if !finished = threads then resume ())
+              done))
+    in
+    let read_loop th c n key =
+      let rng = Sim.Rng.create (seed lxor (th * key)) in
+      for _ = 1 to n do
+        let lba = Sim.Rng.int rng span in
+        match Runtime.Client.read_block c ~mount ~lba ~bytes:4096 with
+        | Ok _ -> ()
+        | Error _ -> incr failures
+      done
+    in
+    (* Populate the mirror, then read while healthy. *)
+    run_phase (fun th c ->
+        let per = extents / threads in
+        for i = 0 to per - 1 do
+          let lba = ((th * per) + i) * extent_blocks in
+          match Runtime.Client.write_block c ~mount ~lba ~bytes:4096 with
+          | Ok _ -> ()
+          | Error _ -> incr failures
+        done;
+        read_loop th c ops 7919);
+    (* Script leg nvme2 offline for 5 ms, read through the loss. *)
+    let from_ns = Platform.now platform +. 100_000.0 in
+    let until_ns = from_ns +. 5_000_000.0 in
+    Device.Device.set_fault_plan
+      (Platform.device_by_name platform "nvme2")
+      (Sim.Fault.create
+         ~script:[ Sim.Fault.Offline { from_ns; until_ns; queue = None } ]
+         ~seed ());
+    run_phase (fun th c ->
+        Sim.Engine.wait (from_ns +. 10_000.0 -. Sim.Machine.now machine);
+        read_loop th c ops 104729);
+    (* The leg returns; read until the resilver finishes. *)
+    let m =
+      match
+        Core.Registry.find (Runtime.Runtime.registry (Platform.runtime platform)) "lvm0"
+      with
+      | Some m -> m
+      | None -> assert false
+    in
+    run_phase (fun th c ->
+        let now () = Sim.Machine.now machine in
+        if until_ns +. 10_000.0 > now () then
+          Sim.Engine.wait (until_ns +. 10_000.0 -. now ());
+        let guard = ref 0 in
+        while Mods.Lab_lvm.rebuild_frac m < 1.0 && !guard < 200_000 do
+          incr guard;
+          read_loop th c 1 15485863;
+          Sim.Engine.wait 20_000.0
+        done);
+    let counters = Mods.Lab_lvm.counters m in
+    let ops_list = Mods.Lab_lvm.journal_ops m in
+    let vg = Mods.Lab_lvm.vg m in
+    let replayed =
+      Mods.Lab_lvm.Meta.replay ~nlegs:vg.Mods.Lab_lvm.Meta.nlegs
+        ~extents_per_leg:vg.Mods.Lab_lvm.Meta.extents_per_leg ops_list
+    in
+    Printf.printf
+      "lvm: RAID1 over [nvme, nvme2], %d x 1 MiB extents, %d reads/thread x %d threads, seed %#x\n"
+      extents ops threads seed;
+    Printf.printf "  legs          %s\n"
+      (String.concat ", "
+         (List.map (fun (n, s) -> n ^ "=" ^ s) (Mods.Lab_lvm.leg_states m)));
+    print_counter_row "mirror" (List.filter (fun (k, _) -> k <> "rebuild_copied_bytes") counters);
+    Printf.printf "  rebuild       frac %.2f, %d bytes resilvered at <= %.0f MB/s\n"
+      (Mods.Lab_lvm.rebuild_frac m)
+      (try List.assoc "rebuild_copied_bytes" counters with Not_found -> 0)
+      rate;
+    Printf.printf "  journal       %d redo records; replay is %s and %s the live volume group\n"
+      (List.length ops_list)
+      (if Mods.Lab_lvm.Meta.consistent replayed then "consistent" else "INCONSISTENT")
+      (if Mods.Lab_lvm.Meta.equal replayed vg then "matches" else "DOES NOT match");
+    Printf.printf "  failures      %d reads/writes surfaced to the application\n" !failures;
+    if journal then
+      List.iter
+        (fun op -> Printf.printf "    %s\n" (Mods.Lab_lvm.Meta.op_to_string op))
+        ops_list
+  in
+  Cmd.v
+    (Cmd.info "lvm"
+       ~doc:"Mount a mirrored volume, script one leg offline mid-run, and report degraded-mode and rebuild counters")
+    Term.(const run $ extents $ ops $ threads $ seed $ rate $ journal)
 
 (* ---------------- cache ---------------- *)
 
@@ -707,6 +845,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            validate_cmd; run_cmd; faults_cmd; cache_cmd; metrics_cmd;
+            validate_cmd; run_cmd; faults_cmd; lvm_cmd; cache_cmd; metrics_cmd;
             trace_cmd; profile_cmd; top_cmd; mods_cmd;
           ]))

@@ -119,12 +119,14 @@ let errno_of_result = function
       | _ -> None)
   | Done | Fd _ | Size _ | Denied _ -> None
 
-(* Failures worth retrying: media errors, torn writes (rewrite the
-   data) and offline queues (requeue elsewhere). A blown deadline
-   (ETIMEDOUT) is final — the time budget is already spent. *)
+(* Failures worth retrying: media errors (EIO), torn writes (rewrite
+   the data) and vanished devices (ENODEV — requeue elsewhere or fail
+   over to a mirror leg; distinct from EIO so policy can tell retry
+   from fail-over). A blown deadline (ETIMEDOUT) is final — the time
+   budget is already spent. *)
 let is_transient_failure r =
   match errno_of_result r with
-  | Some ("EIO" | "EOFFLINE" | "ETORN") -> true
+  | Some ("EIO" | "ENODEV" | "ETORN") -> true
   | Some _ | None -> false
 
 (* A torn-write failure message carries "(<n> persisted)" — the byte

@@ -111,8 +111,10 @@ val errno_of_result : result -> string option
     Ordinary failures (e.g. ["labfs: no such file"]) yield [None]. *)
 
 val is_transient_failure : result -> bool
-(** True for [EIO], [EOFFLINE] and [ETORN] failures — the ones a client
-    may retry (with requeueing for [EOFFLINE]). [ETIMEDOUT] is final. *)
+(** True for [EIO], [ENODEV] and [ETORN] failures — the ones a client
+    may retry (with requeueing for [ENODEV], which means the device or
+    queue is gone rather than a retryable media error). [ETIMEDOUT] is
+    final. *)
 
 val torn_persisted_of_result : result -> int option
 (** For an [ETORN] failure, the byte count the device persisted before

@@ -12,11 +12,16 @@ type completion = {
 
 type error = E_io | E_offline | E_timeout | E_torn of int
 
+(* Offline maps to ENODEV — "no such device" — so upper layers can
+   tell a fail-over condition (the device is gone, requeue or switch
+   mirror legs) from a retryable media error (EIO). *)
 let error_to_string = function
   | E_io -> "EIO"
-  | E_offline -> "EOFFLINE"
+  | E_offline -> "ENODEV"
   | E_timeout -> "ETIMEDOUT"
   | E_torn n -> Printf.sprintf "ETORN(%d persisted)" n
+
+type health_event = Went_offline of { until_ns : float } | Came_online
 
 type request = {
   kind : io_kind;
@@ -30,6 +35,7 @@ type request = {
 type transfer_item = { treq : request; tbytes : int; resume : unit -> unit }
 
 type t = {
+  name : string;
   engine : Engine.t;
   profile : Profile.t;
   queues : request Mailbox.t array;
@@ -49,7 +55,10 @@ type t = {
   mutable bytes_written : int;
   service : Stats.t;
   mutable faults : Fault.t option;
+  mutable health_watchers : (health_event -> unit) list;
 }
+
+let name t = t.name
 
 let profile t = t.profile
 
@@ -65,9 +74,11 @@ let completed_writes t = t.completed_writes
 
 let completed_errors t = t.completed_errors
 
-let set_fault_plan t plan = t.faults <- Some plan
-
 let fault_plan t = t.faults
+
+let add_health_watcher t f = t.health_watchers <- f :: t.health_watchers
+
+let notify_health t ev = List.iter (fun f -> f ev) (List.rev t.health_watchers)
 
 let bytes_read t = t.bytes_read
 
@@ -128,6 +139,11 @@ let completion_of t req =
     c_completed = Engine.now t.engine;
   }
 
+let offline_now t qidx =
+  match t.faults with
+  | None -> false
+  | Some plan -> Fault.offline plan ~now:(Engine.now t.engine) ~queue:qidx
+
 let service t qidx req () =
   let transfer nbytes =
     (* Transfer stage: enqueue on this hctx's transfer queue and wait
@@ -162,8 +178,16 @@ let service t qidx req () =
       let extra = match req.fault with Fault.Delay d -> d | _ -> 0.0 in
       Engine.wait (latency_of t req.kind +. seek_cost t req.lba req.bytes +. extra);
       Semaphore.release t.channels;
-      transfer req.bytes;
-      finish t req (Ok (completion_of t req))
+      if offline_now t qidx then
+        (* The device went offline while this command was in service:
+           it completes with an error instead of data (the in-flight
+           half of device-loss semantics; queued commands are aborted
+           by [abort_queued]). *)
+        finish t req (Error E_offline)
+      else begin
+        transfer req.bytes;
+        finish t req (Ok (completion_of t req))
+      end
 
 (* The bandwidth arbiter: round-robin over the per-hctx transfer
    queues, except that small commands form an urgent class (NVMe
@@ -225,10 +249,48 @@ let dispatcher t qidx () =
     Engine.spawn t.engine (service t qidx req)
   done
 
-let create engine profile =
+(* Device loss must not leave queued commands waiting on a dead
+   controller: at an offline window's start every not-yet-dispatched
+   command on a covered queue completes with [E_offline] (commands
+   already in service error out when their latency elapses, see
+   [service]). *)
+let abort_queued t ~queue =
+  let drain qidx =
+    let rec go () =
+      match Mailbox.try_get t.queues.(qidx) with
+      | None -> ()
+      | Some req ->
+          finish t req (Error E_offline);
+          go ()
+    in
+    go ()
+  in
+  match queue with
+  | Some q -> drain (q mod Array.length t.queues)
+  | None -> Array.iteri (fun i _ -> drain i) t.queues
+
+let set_fault_plan t plan =
+  t.faults <- Some plan;
+  (* Schedule the plan's scripted offline windows as device events:
+     queued-command abort at each window start, plus health-watcher
+     notifications at whole-device loss and return — the hook layered
+     services (the volume manager) use to degrade and rebuild. *)
+  let now = Engine.now t.engine in
+  List.iter
+    (fun (from_ns, until_ns, queue) ->
+      Engine.spawn_at t.engine (Float.max now from_ns) (fun () ->
+          abort_queued t ~queue;
+          if queue = None then notify_health t (Went_offline { until_ns }));
+      if queue = None && Float.is_finite until_ns then
+        Engine.spawn_at t.engine (Float.max now until_ns) (fun () ->
+            notify_health t Came_online))
+    (Fault.offline_windows plan)
+
+let create ?(name = "dev") engine profile =
   let open Profile in
   let t =
     {
+      name;
       engine;
       profile;
       queues = Array.init profile.n_hw_queues (fun _ -> Mailbox.create ());
@@ -245,6 +307,7 @@ let create engine profile =
       bytes_written = 0;
       service = Stats.create ();
       faults = None;
+      health_watchers = [];
     }
   in
   for i = 0 to profile.n_hw_queues - 1 do

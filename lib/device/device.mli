@@ -26,22 +26,50 @@ type completion = {
 
 type error =
   | E_io  (** media error: command consumed its latency, moved no data *)
-  | E_offline  (** queue/device offline window: rejected at submission *)
+  | E_offline
+      (** queue/device offline window: rejected at submission, or the
+          device disappeared while the command was queued/in service *)
   | E_timeout  (** reserved for upper layers fabricating deadline misses *)
   | E_torn of int
       (** torn write: only this many bytes were persisted — always
           strictly fewer than requested *)
 
 val error_to_string : error -> string
+(** [E_io] is ["EIO"] (retryable media error) and [E_offline] is
+    ["ENODEV"] (the device is gone: requeue elsewhere or fail over to a
+    mirror leg) — distinct errnos so retry logic can tell the cases
+    apart. *)
 
-val create : Lab_sim.Engine.t -> Profile.t -> t
+val create : ?name:string -> Lab_sim.Engine.t -> Profile.t -> t
+(** [name] identifies this device instance (e.g. one mirror leg) in
+    metrics and volume-manager topology; defaults to ["dev"]. *)
+
+val name : t -> string
 
 val set_fault_plan : t -> Lab_sim.Fault.t -> unit
 (** Installs a deterministic fault plan; every subsequently submitted
     command consults it (per chunk, at submission time). Without a plan
-    the device is fault-free and behaves exactly as before. *)
+    the device is fault-free and behaves exactly as before.
+
+    The plan's scripted offline windows additionally become device
+    events: when a window opens, commands still queued on a covered
+    hardware queue complete immediately with [E_offline] and commands
+    already in service error out when their latency elapses — nothing
+    hangs on a dead controller. Whole-device windows also fire the
+    {!add_health_watcher} callbacks at their start and end. *)
 
 val fault_plan : t -> Lab_sim.Fault.t option
+
+(** Device-loss notifications, fired for whole-device offline windows
+    ([queue = None]) of the installed fault plan. *)
+type health_event =
+  | Went_offline of { until_ns : float }
+  | Came_online
+
+val add_health_watcher : t -> (health_event -> unit) -> unit
+(** Registers a callback run in simulated-event context at whole-device
+    loss and return; watchers registered before the event fires (e.g.
+    at mount time for a boot-time plan) see every transition. *)
 
 val profile : t -> Profile.t
 

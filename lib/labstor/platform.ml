@@ -11,17 +11,35 @@ type t = {
 
 let backend_name kind = String.lowercase_ascii (Profile.kind_to_string kind)
 
+(* Duplicate kinds in [devices] become distinct instances — mirror
+   legs — named "nvme", "nvme2", "nvme3", … so each leg keeps its own
+   identity in metrics, fault plans and volume topology. A
+   single-instance boot keeps the historical name ("nvme"), so existing
+   metric exports are byte-identical. *)
+let instance_names devices =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun k ->
+      let n = try Hashtbl.find seen k with Not_found -> 0 in
+      Hashtbl.replace seen k (n + 1);
+      let base = backend_name k in
+      if n = 0 then base else Printf.sprintf "%s%d" base (n + 1))
+    devices
+
 let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(devices = [ Profile.Nvme ]) ?default_device ?(seed = 0xC0FFEE)
     ?(workers_busy_poll = false) ?(worker_batch_size = 1)
     ?(worker_max_inflight = 16) ?fault_rates ?fault_script
     ?(trace_sample = 0) ?trace_path ?metrics_path
-    ?(profile_period = 0.0) ?profile_path () =
+    ?(profile_period = 0.0) ?profile_path ?lvm_rebuild_rate_mbps () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
   let devs =
-    List.map (fun k -> (k, Device.create m.Machine.engine (Profile.of_kind k))) devices
+    List.map2
+      (fun k name ->
+        (k, Device.create ~name m.Machine.engine (Profile.of_kind k)))
+      devices (instance_names devices)
   in
   (* One fault plan per device, each with its own seed-derived stream so
      adding a device never perturbs another device's fault sequence. *)
@@ -56,9 +74,17 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       profile_path;
     }
   in
+  let config =
+    match lvm_rebuild_rate_mbps with
+    | None -> config
+    | Some r -> { config with Lab_runtime.Runtime.lvm_rebuild_rate_mbps = r }
+  in
   let rt =
     Lab_runtime.Runtime.create m ~config
-      ~backends:(List.map (fun (k, b) -> (backend_name k, b)) backends)
+      ~backends:
+        (List.map
+           (fun (_, b) -> (Device.name b.Lab_mods.Mods_env.device, b))
+           backends)
       ~default_backend:(backend_name default_device) ()
   in
   (* Device health is exposed as read-through gauges: the registry holds
@@ -66,8 +92,8 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
      without per-I/O bookkeeping on the data path. *)
   let metrics = Lab_runtime.Runtime.metrics rt in
   List.iter
-    (fun (k, d) ->
-      let pre s = Printf.sprintf "device.%s.%s" (backend_name k) s in
+    (fun (_, d) ->
+      let pre s = Printf.sprintf "device.%s.%s" (Device.name d) s in
       let gi name f =
         Lab_obs.Metrics.gauge_fn metrics (pre name) (fun () ->
             Stdlib.float_of_int (f d))
@@ -87,7 +113,7 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       | None -> ()
       | Some f ->
           Lab_obs.Metrics.gauge_fn metrics
-            (Printf.sprintf "fault.%s.injected_total" (backend_name k))
+            (Printf.sprintf "fault.%s.injected_total" (Device.name d))
             (fun () -> Stdlib.float_of_int (Lab_sim.Fault.injected_total f)))
     devs;
   (* Device queue occupancy joins the profiling sampler: the runtime
@@ -95,9 +121,9 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
   (match Lab_runtime.Runtime.timeseries rt with
   | Some ts ->
       List.iter
-        (fun (k, d) ->
+        (fun (_, d) ->
           Lab_obs.Timeseries.add_series ts
-            (Printf.sprintf "device.%s.outstanding" (backend_name k))
+            (Printf.sprintf "device.%s.outstanding" (Device.name d))
             (fun _now -> Stdlib.float_of_int (Device.outstanding d)))
         devs
   | None -> ());
@@ -114,7 +140,7 @@ let metrics t = Lab_runtime.Runtime.metrics t.rt
 let sync_fault_counters t =
   let reg = metrics t in
   List.iter
-    (fun (k, d) ->
+    (fun (_, d) ->
       match Device.fault_plan d with
       | None -> ()
       | Some f ->
@@ -122,7 +148,7 @@ let sync_fault_counters t =
             (fun (nm, n) ->
               let c =
                 Lab_obs.Metrics.counter ~reg
-                  (Printf.sprintf "fault.%s.%s" (backend_name k) nm)
+                  (Printf.sprintf "fault.%s.%s" (Device.name d) nm)
               in
               Lab_obs.Metrics.set_value c n)
             (Lab_sim.Fault.injected f))
@@ -180,6 +206,15 @@ let machine t = t.m
 let runtime t = t.rt
 
 let device t kind = List.assoc kind t.devs
+
+let devices t = List.map (fun (_, d) -> (Device.name d, d)) t.devs
+
+let device_by_name t name =
+  match
+    List.find_opt (fun (_, d) -> Device.name d = name) t.devs
+  with
+  | Some (_, d) -> d
+  | None -> invalid_arg ("Platform.device_by_name: no device " ^ name)
 
 let fault_plan t kind = Device.fault_plan (device t kind)
 

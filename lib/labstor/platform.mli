@@ -23,15 +23,20 @@ val boot :
   ?metrics_path:string ->
   ?profile_period:float ->
   ?profile_path:string ->
+  ?lvm_rebuild_rate_mbps:float ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
     device (plus any others listed). Backends are named after their
-    device kind in lowercase ("nvme", "ssd", "hdd", "pmem").
+    device kind in lowercase ("nvme", "ssd", "hdd", "pmem"); listing a
+    kind more than once boots distinct instances — mirror legs — named
+    "nvme", "nvme2", "nvme3", … (see {!devices} / {!device_by_name}).
     [worker_batch_size] (default 1) bounds how many requests a worker
     drains per queue per cross-core pull; [worker_max_inflight]
     (default 16) bounds each worker's asynchronous window; see
-    {!Lab_runtime.Worker}.
+    {!Lab_runtime.Worker}. [lvm_rebuild_rate_mbps] overrides the
+    volume-manager resilver rate cap
+    ({!Lab_runtime.Runtime.config.lvm_rebuild_rate_mbps}).
 
     If [fault_rates] or [fault_script] is given, every booted device
     gets a deterministic fault plan derived from [seed] (one independent
@@ -56,7 +61,15 @@ val machine : t -> Lab_sim.Machine.t
 val runtime : t -> Lab_runtime.Runtime.t
 
 val device : t -> Lab_device.Profile.kind -> Lab_device.Device.t
-(** @raise Not_found if the kind was not booted. *)
+(** The first booted device of that kind.
+    @raise Not_found if the kind was not booted. *)
+
+val devices : t -> (string * Lab_device.Device.t) list
+(** Every booted device instance with its name, in boot order. *)
+
+val device_by_name : t -> string -> Lab_device.Device.t
+(** Looks an instance up by name ("nvme", "nvme2", …).
+    @raise Invalid_argument on an unknown name. *)
 
 val fault_plan : t -> Lab_device.Profile.kind -> Lab_sim.Fault.t option
 (** The device's installed fault plan; [None] when booted without

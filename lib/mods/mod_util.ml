@@ -38,7 +38,7 @@ let device_error name e =
   let errno =
     match e with
     | Lab_device.Device.E_io -> "EIO"
-    | Lab_device.Device.E_offline -> "EOFFLINE"
+    | Lab_device.Device.E_offline -> "ENODEV"
     | Lab_device.Device.E_timeout -> "ETIMEDOUT"
     | Lab_device.Device.E_torn _ -> "ETORN"
   in

@@ -16,7 +16,7 @@ val await_value : (('a -> unit) -> unit) -> 'a
 
 val device_error : string -> Lab_device.Device.error -> Request.result
 (** [device_error mod_name e] renders a device fault as the errno-tagged
-    [Request.Failed] form ([EIO]/[EOFFLINE]/[ETIMEDOUT]/[ETORN]) that
+    [Request.Failed] form ([EIO]/[ENODEV]/[ETIMEDOUT]/[ETORN]) that
     {!Request.is_transient_failure} and client retry policy recognise. *)
 
 val identity_state : Labmod.state -> Labmod.state

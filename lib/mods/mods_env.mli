@@ -20,6 +20,7 @@ val install :
   backends:(string * backend) list ->
   default_backend:string ->
   nworkers:int ->
+  lvm_rebuild_rate_mbps:float ->
   unit
 (** [?metrics] is threaded to the cache and scheduler factories so
     every instance they build registers its counters (under
@@ -28,8 +29,10 @@ val install :
     ["mod.<uuid>.dirty_backlog"] probe with the profiling sampler.
 
     Registers: [labfs], [labkvs], [lru_cache], [permissions],
-    [compress], [noop_sched], [blkswitch_sched], [dummy], plus
-    per-backend drivers named [kernel_driver:<backend>],
-    [spdk:<backend>] (polling devices only) and [dax:<backend>]
-    (byte-addressable devices only). The unqualified [kernel_driver],
-    [spdk], and [dax] names bind to [default_backend]. *)
+    [compress], [noop_sched], [blkswitch_sched], [lab_lvm] (over all
+    backends as candidate legs, resilvering at
+    [lvm_rebuild_rate_mbps] by default), [dummy], plus per-backend
+    drivers named [kernel_driver:<backend>], [spdk:<backend>] (polling
+    devices only) and [dax:<backend>] (byte-addressable devices only).
+    The unqualified [kernel_driver], [spdk], and [dax] names bind to
+    [default_backend]. *)

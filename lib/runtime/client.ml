@@ -287,7 +287,7 @@ let backoff_ns t attempt =
 (* Client-side fault policy, shared by the single-request and batched
    paths: given the first attempt's result, run bounded retries with
    exponential backoff + jitter on transient failures, degraded-mode
-   requeueing to another hardware queue on EOFFLINE, all under one
+   requeueing to another hardware queue on ENODEV, all under one
    per-request deadline. *)
 let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
   let p = t.policy in
@@ -299,11 +299,11 @@ let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
     end
     else begin
       Metrics.incr t.counters.fc_retries;
-      (* Degraded mode: an offline queue stays offline for a while, so
-         steer the retry to a different hardware queue instead of
-         hammering the dead one. *)
+      (* Degraded mode: ENODEV means the queue/device is gone (not a
+         retryable media error), so steer the retry to a different
+         hardware queue instead of hammering the dead one. *)
       let hint =
-        if Request.errno_of_result result = Some "EOFFLINE" then begin
+        if Request.errno_of_result result = Some "ENODEV" then begin
           Metrics.incr t.counters.fc_requeues;
           Some (t.c_thread + n + 1)
         end

@@ -55,11 +55,13 @@ val connect :
 (** Models the UNIX-socket handshake and credential exchange. Must run
     inside a simulated process.
 
-    Transient device failures ([EIO], [EOFFLINE], [ETORN] — see
+    Transient device failures ([EIO], [ENODEV], [ETORN] — see
     {!Lab_core.Request.is_transient_failure}) are retried per
-    [retry_policy] with exponential backoff; an [EOFFLINE] retry is
-    requeued to a different hardware queue (degraded-mode routing).
-    When retries are exhausted the last failure is surfaced. *)
+    [retry_policy] with exponential backoff; an [ENODEV] retry is
+    requeued to a different hardware queue (degraded-mode routing),
+    [ENODEV] being the offline-device errno as opposed to a retryable
+    [EIO] media error. When retries are exhausted the last failure is
+    surfaced. *)
 
 val disconnect : t -> unit
 

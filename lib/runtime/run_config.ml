@@ -69,6 +69,8 @@ let of_yaml node =
             (d.Runtime.profile_period_ns /. 1000.0)
           *. 1000.0;
         profile_path = gets "profile_path" d.Runtime.profile_path;
+        lvm_rebuild_rate_mbps =
+          getf "lvm_rebuild_rate_mbps" d.Runtime.lvm_rebuild_rate_mbps;
       }
 
 let parse text =

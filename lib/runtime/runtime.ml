@@ -17,6 +17,9 @@ type config = {
   metrics_path : string option;
   profile_period_ns : float;  (* sampler period; <= 0 disables profiling *)
   profile_path : string option;
+  lvm_rebuild_rate_mbps : float;
+      (* volume-manager resilver rate cap (MB/s); bounds how hard a
+         background rebuild competes with foreground traffic *)
 }
 
 let default_config =
@@ -34,6 +37,7 @@ let default_config =
     metrics_path = None;
     profile_period_ns = 0.0;
     profile_path = None;
+    lvm_rebuild_rate_mbps = 400.0;
   }
 
 type qstat = {
@@ -161,7 +165,8 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
     else None
   in
   Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
-    ~nworkers:config.nworkers ~metrics ?timeseries;
+    ~nworkers:config.nworkers
+    ~lvm_rebuild_rate_mbps:config.lvm_rebuild_rate_mbps ~metrics ?timeseries;
   let default =
     match List.assoc_opt default_backend backends with
     | Some b -> b

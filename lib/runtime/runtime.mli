@@ -33,6 +33,12 @@ type config = {
   profile_path : string option;
       (** where {!Platform.export} writes the profile JSON (sampler
           timeline + span-based flamegraph and tail attribution) *)
+  lvm_rebuild_rate_mbps : float;
+      (** default resilver rate cap (MB/s) for {!Lab_mods.Lab_lvm}
+          instances — the volume-topology knob bounding how hard a
+          background mirror rebuild competes with foreground I/O
+          (default 400, overridable per-instance via the stack's
+          [rebuild_rate_mbps] attr) *)
 }
 
 val default_config : config

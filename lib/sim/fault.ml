@@ -72,6 +72,8 @@ let create ?(rates = no_rates) ?(queue_rates = []) ?(script = []) ~seed () =
 
 let none () = create ~seed:0 ()
 
+let offline_windows t = t.windows
+
 let offline t ~now ~queue =
   List.exists
     (fun (from_ns, until_ns, q) ->

@@ -70,6 +70,14 @@ val decide : t -> now:float -> queue:int -> is_write:bool -> bytes:int -> decisi
 val offline : t -> now:float -> queue:int -> bool
 (** Whether a scripted offline window covers [queue] at [now]. *)
 
+val offline_windows : t -> (float * float * int option) list
+(** The plan's scripted offline windows as [(from_ns, until_ns, queue)]
+    triples ([queue = None] meaning the whole device) — the device-loss
+    notification hook: {!Lab_device.Device} schedules abort and
+    health-watcher events at these boundaries so layered services (the
+    volume manager) can react to a leg loss instead of discovering it
+    one failed command at a time. *)
+
 (** {2 Observability} *)
 
 val injected : t -> (string * int) list

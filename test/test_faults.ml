@@ -144,6 +144,72 @@ let test_offline_window_requeues () =
       Alcotest.(check bool) "offline rejection recorded" true
         (List.assoc "offline_reject" (Fault.injected plan) >= 1))
 
+let test_offline_fails_inflight_with_enodev () =
+  (* Regression: the whole device goes offline mid-run with commands
+     queued and in service. Every one of them must complete — queued
+     commands are drained, in-service ones fail at completion time —
+     with the offline errno (ENODEV), never hang. *)
+  in_sim (fun e ->
+      let dev = Device.create e Profile.nvme in
+      Device.set_fault_plan dev
+        (Fault.create
+           ~script:
+             [ Fault.Offline { from_ns = 1e5; until_ns = Float.infinity; queue = None } ]
+           ~seed:42 ());
+      let ok = ref 0 and enodev = ref 0 and other = ref 0 in
+      let submit ~bytes i =
+        Device.submit_result dev ~hctx:0 ~kind:Device.Write ~lba:(i * 4096)
+          ~bytes ~on_complete:(function
+          | Ok _ -> incr ok
+          | Error Device.E_offline -> incr enodev
+          | Error _ -> incr other)
+      in
+      (* These 8 small writes finish long before the 100 us loss. *)
+      for i = 0 to 7 do
+        submit ~bytes:4096 i
+      done;
+      Engine.wait 9e4;
+      (* 90 us in: submitted before the loss, but a 256 KiB transfer
+         cannot finish within the remaining 10 us — every one of these
+         is queued or in service when the device drops. *)
+      let n = 8 + 32 in
+      for i = 8 to n - 1 do
+        submit ~bytes:262144 i
+      done;
+      (* Long enough for every surviving transfer to drain through the
+         bandwidth arbiter (32 x 256 KiB at ~2 GB/s ~ 4.2 ms). *)
+      Engine.wait 1e7;
+      Alcotest.(check int) "every in-flight command completed (no hang)" n
+        (!ok + !enodev + !other);
+      Alcotest.(check int) "no other error kind surfaced" 0 !other;
+      Alcotest.(check bool) "some commands finished before the loss" true (!ok >= 1);
+      Alcotest.(check bool) "queued + in-service commands failed over" true
+        (!enodev >= 1);
+      Alcotest.(check int) "nothing left outstanding" 0 (Device.outstanding dev);
+      Alcotest.(check string) "offline carries the fail-over errno" "ENODEV"
+        (Device.error_to_string Device.E_offline))
+
+let test_offline_health_events () =
+  (* A bounded whole-device window notifies watchers at both edges,
+     with the loss event carrying the scripted return time. *)
+  in_sim (fun e ->
+      let dev = Device.create ~name:"legB" e Profile.nvme in
+      Alcotest.(check string) "device identity" "legB" (Device.name dev);
+      let events = ref [] in
+      Device.add_health_watcher dev (fun ev -> events := ev :: !events);
+      Device.set_fault_plan dev
+        (Fault.create
+           ~script:[ Fault.Offline { from_ns = 1e4; until_ns = 2e4; queue = None } ]
+           ~seed:1 ());
+      Engine.wait 1e5;
+      match List.rev !events with
+      | [ Device.Went_offline { until_ns }; Device.Came_online ] ->
+          Alcotest.(check (float 1.0)) "loss event carries return time" 2e4 until_ns
+      | evs ->
+          Alcotest.fail
+            (Printf.sprintf "expected loss + return, saw %d events"
+               (List.length evs)))
+
 let test_deadline_miss_on_lost_command () =
   let platform =
     Platform.boot ~nworkers:2
@@ -351,6 +417,10 @@ let () =
             test_retry_masks_one_shot_error;
           Alcotest.test_case "offline window requeues" `Quick
             test_offline_window_requeues;
+          Alcotest.test_case "offline fails in-flight I/O with ENODEV" `Quick
+            test_offline_fails_inflight_with_enodev;
+          Alcotest.test_case "offline window fires health events" `Quick
+            test_offline_health_events;
           Alcotest.test_case "deadline miss on lost command" `Quick
             test_deadline_miss_on_lost_command;
           Alcotest.test_case "labfs journal abort + replay" `Quick
