@@ -1,0 +1,218 @@
+(* Simulator-core benchmark: events/sec and minor words/event on the
+   DES hot path.
+
+   Three synthetic closed loops plus one full-stack scenario:
+
+   - timer:  [loops] concurrent self-rescheduling timers on the pooled
+             [Engine.timer] path (closure-free dispatch, calendar
+             queue). This is the engine's allocation-free hot path and
+             is gated at <= 2 minor words/event in steady state.
+   - wait:   the same closed loop expressed as effect-based processes
+             ([Engine.spawn] + [Engine.wait]) — the path every runtime
+             coroutine takes. Reported for context; continuations
+             allocate, so no words/event gate.
+   - legacy: the identical timer workload on [Legacy_engine], a replica
+             of the pre-rewrite engine (boxed keys, per-event closures,
+             cmp-closure heap, Fun.protect per event). The before/after
+             events/sec ratio is measured against it.
+   - batching: one point of the exp_batching sweep, as a whole-stack
+             events fingerprint.
+
+   One in sixteen timers sleeps far beyond the calendar window so the
+   overflow heap and window re-anchoring stay on the measured path.
+
+   Default output is deterministic (event counts, words/event from
+   Gc.minor_words deltas). Set LABSTOR_WALLCLOCK for events/sec and the
+   new-vs-legacy speedup (asserted >= 5x in full runs); LABSTOR_SMOKE=1
+   shrinks the workload for CI. Writes BENCH_sim.json. *)
+
+open Lab_sim
+
+let loops = 256
+
+(* Spread delays across the calendar window; every 16th timer jumps
+   past the 131 us window so the overflow heap and window re-anchoring
+   stay on the measured path. *)
+let delay_ns slot =
+  if slot land 15 = 0 then 500_000 else 100 + (slot * 37 mod 1400)
+
+(* Steady-state measurement around [f]: the caller runs a warmup phase
+   first so pool and bucket growth are out of the way. *)
+let measured e f =
+  let e0 = Engine.events_executed e in
+  let w0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  f ();
+  let wall = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let events = Engine.events_executed e - e0 in
+  (events, words /. Stdlib.float_of_int events, wall)
+
+(* Pooled path: one shared [int -> unit] function, re-armed via
+   [Engine.timer] — no per-event allocation anywhere in the loop. *)
+let run_timer ~warmup ~total =
+  let e = Engine.create () in
+  let remaining = ref 0 in
+  let rec fire slot =
+    if !remaining > 0 then begin
+      Stdlib.decr remaining;
+      Engine.timer e ~ns:(delay_ns slot) fire slot
+    end
+  in
+  let seed () =
+    for i = 0 to loops - 1 do
+      Engine.timer e ~ns:(100 + i) fire i
+    done
+  in
+  remaining := warmup;
+  seed ();
+  Engine.run e;
+  remaining := total;
+  seed ();
+  let events, wpe, wall = measured e (fun () -> Engine.run e) in
+  (events, wpe, wall, Engine.now e)
+
+(* Effect path: the same closed loop as cooperating processes. *)
+let run_wait ~total =
+  let e = Engine.create () in
+  let remaining = ref total in
+  for i = 0 to loops - 1 do
+    let d = Stdlib.float_of_int (delay_ns i) in
+    Engine.spawn e (fun () ->
+        while !remaining > 0 do
+          Stdlib.decr remaining;
+          Engine.wait d
+        done)
+  done;
+  measured e (fun () -> Engine.run e)
+
+(* Pre-rewrite replica: every reschedule allocates a fresh thunk, every
+   push a boxed key — exactly what the old engine did per event. *)
+let run_legacy ~warmup ~total =
+  let e = Legacy_engine.create () in
+  let remaining = ref 0 in
+  let rec fire slot () =
+    if !remaining > 0 then begin
+      Stdlib.decr remaining;
+      Legacy_engine.schedule e
+        (Legacy_engine.now e +. Stdlib.float_of_int (delay_ns slot))
+        (fire slot)
+    end
+  in
+  let seed () =
+    for i = 0 to loops - 1 do
+      Legacy_engine.schedule e
+        (Legacy_engine.now e +. Stdlib.float_of_int (100 + i))
+        (fire i)
+    done
+  in
+  remaining := warmup;
+  seed ();
+  Legacy_engine.run e;
+  remaining := total;
+  seed ();
+  let e0 = Legacy_engine.events_executed e in
+  let w0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  Legacy_engine.run e;
+  let wall = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  let events = Legacy_engine.events_executed e - e0 in
+  (events, words /. Stdlib.float_of_int events, wall)
+
+let rate events wall =
+  if wall > 0.0 then Stdlib.float_of_int events /. wall else 0.0
+
+let run () =
+  let smoke = Bench_util.smoke () in
+  (* Warmup must cover at least one full calendar-window cycle (~42000
+     events for this workload: ~3.1 ns of simulated time per event
+     against a 131 us window) so pool and bucket growth are out of the
+     measured phase. *)
+  let warmup = if smoke then 50_000 else 100_000 in
+  let timer_total = if smoke then 20_000 else 2_000_000 in
+  let wait_total = if smoke then 10_000 else 400_000 in
+  let legacy_total = if smoke then 10_000 else 400_000 in
+  let batch_ops = if smoke then 256 else 2048 in
+  Bench_util.heading "sim"
+    "Simulator core: events/sec and minor words/event on the hot path";
+  Printf.printf
+    "  %d concurrent closed-loop timers, %d measured events after %d warmup\n"
+    loops timer_total warmup;
+  let widths = [ 10; 9; 9 ] in
+  Bench_util.print_row widths [ "scenario"; "events"; "words/ev" ];
+  Bench_util.print_row widths (List.map (fun w -> String.make w '-') widths);
+  let t_events, t_wpe, t_wall, t_now = run_timer ~warmup ~total:timer_total in
+  Bench_util.print_row widths
+    [ "timer"; string_of_int t_events; Printf.sprintf "%.4f" t_wpe ];
+  let w_events, w_wpe, w_wall = run_wait ~total:wait_total in
+  Bench_util.print_row widths
+    [ "wait"; string_of_int w_events; Printf.sprintf "%.2f" w_wpe ];
+  let l_events, l_wpe, l_wall = run_legacy ~warmup ~total:legacy_total in
+  Bench_util.print_row widths
+    [ "legacy"; string_of_int l_events; Printf.sprintf "%.2f" l_wpe ];
+  let b = Exp_batching.run_case ~seed:0xBA7C4 ~qd:64 ~batch:16
+      ~total_ops:batch_ops in
+  Bench_util.print_row widths
+    [ "batching"; string_of_int b.Exp_batching.events; "-" ];
+  Bench_util.note
+    "timer is the pooled closure-free path; legacy replicates the";
+  Bench_util.note
+    "pre-rewrite engine (boxed keys, per-event closures, Fun.protect).";
+  (* Allocation-regression guard: the pooled path must stay within 2
+     minor words/event in steady state. Gc counters are deterministic,
+     so the gate (and the JSON it feeds) cannot flake. Bytecode allots
+     differently, so the gate binds in native runs only. *)
+  let native = Sys.backend_type = Sys.Native in
+  let alloc_ok = (not native) || t_wpe <= 2.0 in
+  if not alloc_ok then begin
+    Bench_util.note
+      "ALLOCATION REGRESSION: pooled timer path at %.4f minor words/event (budget 2.0)"
+      t_wpe;
+    exit 1
+  end;
+  if Bench_util.wallclock_enabled () then begin
+    Bench_util.note "timer:  %7.0fk events/sec" (rate t_events t_wall /. 1e3);
+    Bench_util.note "wait:   %7.0fk events/sec" (rate w_events w_wall /. 1e3);
+    Bench_util.note "legacy: %7.0fk events/sec" (rate l_events l_wall /. 1e3);
+    if l_wall > 0.0 && t_wall > 0.0 then begin
+      let speedup = rate t_events t_wall /. rate l_events l_wall in
+      Bench_util.note "speedup (timer vs legacy): %.1fx" speedup;
+      if (not smoke) && speedup < 5.0 then begin
+        Bench_util.note
+          "SPEEDUP REGRESSION: pooled path only %.1fx over legacy (floor 5.0x)"
+          speedup;
+        exit 1
+      end
+    end
+  end;
+  (* Determinism: identical runs must execute the identical event
+     sequence and allocate the identical number of words. *)
+  let t_events', t_wpe', _, t_now' = run_timer ~warmup ~total:timer_total in
+  if t_events = t_events' && t_now = t_now' && t_wpe = t_wpe' then
+    Bench_util.note "determinism: two timer-loop runs matched exactly"
+  else begin
+    Bench_util.note
+      "determinism VIOLATED: timer-loop runs differ (events %d/%d)" t_events
+      t_events';
+    exit 1
+  end;
+  let oc = open_out "BENCH_sim.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"loops\": %d,\n\
+    \  \"timer_events\": %d,\n\
+    \  \"timer_words_per_event\": %.4f,\n\
+    \  \"timer_alloc_ok\": %b,\n\
+    \  \"wait_events\": %d,\n\
+    \  \"wait_words_per_event\": %.2f,\n\
+    \  \"legacy_events\": %d,\n\
+    \  \"legacy_words_per_event\": %.2f,\n\
+    \  \"batching_events\": %d,\n\
+    \  \"deterministic\": %b\n\
+     }\n"
+    loops t_events t_wpe alloc_ok w_events w_wpe l_events l_wpe
+    b.Exp_batching.events
+    (t_events = t_events' && t_now = t_now');
+  close_out oc;
+  Bench_util.note "wrote BENCH_sim.json"

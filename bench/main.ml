@@ -38,6 +38,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "lvm",
       "Volume manager: mirrored redundancy, degraded mode & online rebuild",
       Exp_lvm.run );
+    ( "sim",
+      "Simulator core: events/sec and allocation-free hot path",
+      Exp_sim.run );
   ]
 
 let usage () =

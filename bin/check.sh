@@ -46,6 +46,14 @@ dune exec bench/main.exe -- lvm --smoke
 test -s BENCH_lvm.json
 dune exec bin/bench_diff.exe -- bench/baselines/BENCH_lvm.json BENCH_lvm.json
 
+echo "== sim smoke (--smoke) =="
+# Asserts the pooled timer path stays within 2 minor words/event in
+# steady state and that back-to-back runs execute identical event
+# sequences; exits nonzero on violation.
+dune exec bench/main.exe -- sim --smoke
+test -s BENCH_sim.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_sim.json BENCH_sim.json
+
 echo "== labstor_cli metrics smoke =="
 dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
 test -s out/metrics.jsonl

@@ -36,14 +36,19 @@ type result =
   | Denied of string
   | Failed of string
 
+(* All fields are mutable so completed requests can be recycled through
+   {!Pool} instead of allocating a fresh 13-field record per operation.
+   Code outside the pool still treats identity fields (id, pid, uid,
+   thread, stack_id, payload, submitted_at) as immutable for the
+   lifetime of one operation. *)
 type t = {
-  id : int;
-  pid : int;
-  uid : int;
-  thread : int;
-  stack_id : int;
+  mutable id : int;
+  mutable pid : int;
+  mutable uid : int;
+  mutable thread : int;
+  mutable stack_id : int;
   mutable hop : string;
-  payload : payload;
+  mutable payload : payload;
   mutable result : result option;
   mutable hint_hctx : int option;
       (** hardware-queue steering decision made by a scheduler LabMod *)
@@ -56,7 +61,7 @@ type t = {
   mutable trace : Lab_obs.Trace.flow option;
       (** span-tracer context travelling with the request; [None] unless
           the request id is sampled (see Lab_obs.Trace) *)
-  submitted_at : float;
+  mutable submitted_at : float;
 }
 
 let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
@@ -75,6 +80,60 @@ let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
     trace = None;
     submitted_at = now;
   }
+
+(* Free-list of recycled request records. A released request is
+   re-initialized on acquire, so recycling is invisible to request
+   consumers; release also blanks payload/trace/result so a parked
+   record pins no strings, flows or closures. Ownership rule: release
+   only once the operation's completion has been consumed — a request
+   abandoned in flight (deadline miss, crash) must simply be dropped
+   (the GC reclaims it) because the runtime may still hold it. *)
+module Pool = struct
+  type req = t
+
+  type t = { mutable stack : req array; mutable size : int }
+
+  let create () = { stack = [||]; size = 0 }
+
+  let length p = p.size
+
+  let acquire p ~id ~pid ~uid ~thread ~stack_id ~now payload =
+    if p.size = 0 then make ~id ~pid ~uid ~thread ~stack_id ~now payload
+    else begin
+      p.size <- p.size - 1;
+      let r = p.stack.(p.size) in
+      r.id <- id;
+      r.pid <- pid;
+      r.uid <- uid;
+      r.thread <- thread;
+      r.stack_id <- stack_id;
+      r.hop <- "";
+      r.payload <- payload;
+      r.result <- None;
+      r.hint_hctx <- None;
+      r.hint_stream <- None;
+      r.prefetch <- false;
+      r.trace <- None;
+      r.submitted_at <- now;
+      r
+    end
+
+  let release p r =
+    r.hop <- "";
+    r.payload <- Control 0;
+    r.result <- None;
+    r.hint_hctx <- None;
+    r.hint_stream <- None;
+    r.trace <- None;
+    if p.size >= Array.length p.stack then begin
+      let n = Stdlib.max 16 (2 * Array.length p.stack) in
+      let stack = Array.make n r in
+      Array.blit p.stack 0 stack 0 p.size;
+      p.stack <- stack
+    end;
+    p.stack.(p.size) <- r;
+    p.size <- p.size + 1
+end
 
 let bytes_of t =
   match t.payload with

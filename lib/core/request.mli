@@ -44,13 +44,13 @@ type result =
   | Failed of string
 
 type t = {
-  id : int;
-  pid : int;  (** client process *)
-  uid : int;  (** credentials for permission checks *)
-  thread : int;  (** submitting thread, for CPU accounting *)
-  stack_id : int;
+  mutable id : int;
+  mutable pid : int;  (** client process *)
+  mutable uid : int;  (** credentials for permission checks *)
+  mutable thread : int;  (** submitting thread, for CPU accounting *)
+  mutable stack_id : int;
   mutable hop : string;  (** UUID of the LabMod currently responsible *)
-  payload : payload;
+  mutable payload : payload;
   mutable result : result option;
   mutable hint_hctx : int option;
       (** hardware-queue steering decision made by a scheduler LabMod *)
@@ -67,8 +67,12 @@ type t = {
           derived from another by record copy inherits the flow; a
           request synthesized with {!make} (merged op, journal flush)
           starts untraced. *)
-  submitted_at : float;
+  mutable submitted_at : float;
 }
+(** Fields are mutable to support {!Pool} recycling; everything except
+    the explicitly-mutable routing state (hop, result, hints, prefetch,
+    trace) must still be treated as immutable for the lifetime of one
+    operation. *)
 
 val make :
   id:int ->
@@ -82,6 +86,41 @@ val make :
 
 val bytes_of : t -> int
 (** Payload size in bytes (0 for metadata/control operations). *)
+
+(** Free-list recycling of request records, so steady-state clients
+    reuse one record per outstanding slot instead of allocating a fresh
+    record per operation. {!Pool.acquire} re-initializes every field
+    (indistinguishable from {!make}); {!Pool.release} blanks
+    payload/result/trace so parked records pin nothing.
+
+    Ownership rule: release a request only after its completion has
+    been consumed by the owner. Requests abandoned in flight (deadline
+    expiry, runtime crash, stale duplicate) must {e not} be released —
+    the runtime may still reference them; dropping them to the GC is
+    always safe. *)
+module Pool : sig
+  type req = t
+
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+  (** Records currently parked. *)
+
+  val acquire :
+    t ->
+    id:int ->
+    pid:int ->
+    uid:int ->
+    thread:int ->
+    stack_id:int ->
+    now:float ->
+    payload ->
+    req
+
+  val release : t -> req -> unit
+end
 
 (** {2 Block-request geometry (adjacent-LBA merging)} *)
 

@@ -59,6 +59,13 @@ val submit_n : 'a t -> 'a list -> unit
 val try_submit : 'a t -> 'a -> bool
 (** Non-blocking variant; still rings the doorbell on success. *)
 
+val submit_arr : 'a t -> 'a array -> int -> unit
+(** [submit_arr t src n] submits [src.(0 .. n-1)] with the same
+    parking/doorbell protocol as {!submit_n} (park on SQ space when
+    full, one coalesced doorbell per batch), but from a caller-owned
+    scratch array: steady-state batched submission allocates nothing.
+    [src] is not retained. *)
+
 val await_completion : 'a t -> 'a
 (** Blocks the calling process until a completion entry is available. *)
 
@@ -82,6 +89,13 @@ val poll_sq : 'a t -> 'a option
 val poll_sq_n : 'a t -> int -> 'a list
 (** Batched pop: up to [n] entries in FIFO order, waking one parked
     producer per freed slot. *)
+
+val poll_sq_into : 'a t -> 'a array -> int -> int
+(** [poll_sq_into t dst n] pops up to [n] entries into [dst.(0 ...)]
+    and returns the count — the allocation-free counterpart of
+    {!poll_sq_n} (same pop-then-wake-per-slot sequence). The caller
+    owns [dst] and should dummy-out the filled prefix after processing
+    so the scratch array does not pin completed requests. *)
 
 val peek_sq : 'a t -> 'a option
 

@@ -49,6 +49,13 @@ type t = {
   rng : Rng.t;  (* backoff jitter; independent of every other stream *)
   counters : fault_counters;
   latency_hist : Metrics.histogram;  (* shared "client.latency_ns" *)
+  (* Recycled request records: a closed-loop client reuses one record
+     per outstanding slot instead of allocating a fresh one per op.
+     Requests are released back only where their completion was
+     definitely consumed by this client; abandoned attempts (deadline
+     miss, crash, stale completion) are never released — the Runtime
+     may still hold them, so they are left to the GC. *)
+  pool : Request.Pool.t;
 }
 
 let pid t = t.c_pid
@@ -91,6 +98,7 @@ let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10)
         fc_exhausted = counter "exhausted_retries";
       };
     latency_hist = Metrics.histogram ~reg "client.latency_ns";
+    pool = Request.Pool.create ();
   }
 
 let retries t = Metrics.value t.counters.fc_retries
@@ -188,7 +196,7 @@ let recover t =
 let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
   apply_decentralized_upgrades t;
   let req =
-    Request.make
+    Request.Pool.acquire t.pool
       ~id:(Runtime.next_request_id t.runtime)
       ~pid:t.c_pid ~uid:t.uid ~thread:t.c_thread ~stack_id:stack.Stack.id
       ~now:(Machine.now (machine t))
@@ -218,6 +226,9 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
       (match req.Request.trace with
       | Some fl -> Trace.finish fl ~tid:t.c_thread ~now:(Machine.now (machine t))
       | None -> ());
+      (* The DAG ran to completion in this thread, so nothing can still
+         reference the request: recycle it. *)
+      Request.Pool.release t.pool req;
       result
   | Stack_spec.Async ->
       if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
@@ -258,8 +269,13 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
             | Some fl ->
                 Trace.finish fl ~tid:t.c_thread ~now:(Machine.now (machine t))
             | None -> ());
-            Option.value done_req.Request.result
-              ~default:(Request.Failed "no result recorded")
+            let result =
+              Option.value done_req.Request.result
+                ~default:(Request.Failed "no result recorded")
+            in
+            (* Completion consumed: the Runtime is done with the record. *)
+            Request.Pool.release t.pool done_req;
+            result
         | Error `Deadline ->
             Metrics.incr t.counters.fc_deadline_misses;
             Request.failed_errno "ETIMEDOUT"
@@ -336,7 +352,7 @@ let do_request t (stack : Stack.t) ?stream payload =
 (* --- Batched submission (io_uring-style multi-submit) --- *)
 
 let make_request t (stack : Stack.t) payload =
-  Request.make
+  Request.Pool.acquire t.pool
     ~id:(Runtime.next_request_id t.runtime)
     ~pid:t.c_pid ~uid:t.uid ~thread:t.c_thread ~stack_id:stack.Stack.id
     ~now:(Machine.now (machine t))
@@ -411,6 +427,8 @@ let rec reap_rounds t (stack : Stack.t) ~deadline_abs ~payloads ~pending
                   Some
                     (Option.value req.Request.result
                        ~default:(Request.Failed "no result recorded"));
+                (* Matched and recorded: recycle the record. *)
+                Request.Pool.release t.pool req;
                 reap ()
             | None -> reap () (* stale: an abandoned attempt's leftovers *))
         | None ->

@@ -22,11 +22,21 @@ type t = {
   batch_size : int;
   mutable inflight : int;
   max_inflight : int;
+  (* Batch-dequeue scratch, reused across sweeps so draining allocates
+     no list per pass. Slots are reset to [scratch_dummy] after each
+     batch so the scratch never pins dispatched requests. *)
+  scratch : Request.t array;
+  scratch_dummy : Request.t;
 }
 
 let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     ?(qprime = fun ~qp_id:_ _ -> ()) ?(spin_ns = 5000.0) ?(busy_poll = false)
     ?(batch_size = 1) ?(max_inflight = 16) () =
+  let batch_size = Stdlib.max 1 batch_size in
+  let scratch_dummy =
+    Request.make ~id:(-1) ~pid:(-1) ~uid:(-1) ~thread:(-1) ~stack_id:(-1)
+      ~now:0.0 (Request.Control 0)
+  in
   {
     w_id = id;
     w_thread = thread;
@@ -43,9 +53,11 @@ let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     qprime;
     spin_ns;
     busy_poll;
-    batch_size = Stdlib.max 1 batch_size;
+    batch_size;
     inflight = 0;
     max_inflight = Stdlib.max 1 max_inflight;
+    scratch = Array.make batch_size scratch_dummy;
+    scratch_dummy;
   }
 
 let id t = t.w_id
@@ -167,19 +179,20 @@ let sweep t =
       | Qp.Normal ->
           let budget = Stdlib.min t.batch_size (t.max_inflight - t.inflight) in
           if budget > 0 then begin
-            match Qp.poll_sq_n qp budget with
-            | [] -> ()
-            | batch ->
-                progress := true;
-                let c = costs t in
-                List.iteri
-                  (fun i req ->
-                    let pull_ns =
-                      if i = 0 then c.Costs.shmem_cross_core_ns
-                      else c.Costs.shmem_cross_core_ns *. c.Costs.shmem_batch_frac
-                    in
-                    process t qp req ~pull_ns)
-                  batch
+            let got = Qp.poll_sq_into qp t.scratch budget in
+            if got > 0 then begin
+              progress := true;
+              let c = costs t in
+              for i = 0 to got - 1 do
+                let req = t.scratch.(i) in
+                t.scratch.(i) <- t.scratch_dummy;
+                let pull_ns =
+                  if i = 0 then c.Costs.shmem_cross_core_ns
+                  else c.Costs.shmem_cross_core_ns *. c.Costs.shmem_batch_frac
+                in
+                process t qp req ~pull_ns
+              done
+            end
           end)
     t.assigned;
   !progress

@@ -1,173 +1,377 @@
+(* Discrete-event engine, zero-allocation hot path.
+
+   Events live in an int-indexed pool: parallel arrays of tag / payload
+   / int-arg, with the free list threaded through [args]. Scheduling
+   reuses a slot and pushes (time, seq, slot) into the monomorphic
+   {!Evq} calendar queue; dispatch switches on the tag instead of
+   calling a megamorphic [unit -> unit] closure:
+
+     tag 1  run a [unit -> unit] thunk (generic [schedule])
+     tag 2  resume an effect continuation ([wait] / resumers)
+     tag 3  call a preallocated [int -> unit] with the slot's int arg
+            ({!timer} — the fully closure-free path)
+     tag 4  start a process under the engine's effect handler ([spawn])
+
+   Slots are freed (tag 0) before dispatch so the callback can
+   reschedule straight into the slot it just vacated.
+
+   Floats are kept out of function signatures on the hot path — an
+   OCaml float crossing a non-inlined call is boxed — by staging times
+   through [Evq.key_in]/[key_out] and keeping the engine's own hot
+   floats (now, next_tick, tick period/base, the pending [wait] delay)
+   in the flat [fl] array. The effect handler, its [Some callback]
+   returns, and [Some t] for [current_engine] are all preallocated at
+   {!create} time, so steady-state [timer] traffic allocates nothing
+   and [wait] traffic allocates only the runtime's continuation. *)
+
 type resumer = unit -> unit
 
-type key = { time : float; seq : int }
-
 type t = {
-  mutable now : float;
-  events : (key, unit -> unit) Heap.t;
+  evq : Evq.t;
   mutable seq : int;
   mutable executed : int;
-  (* Virtual-time sampling hook: fired at every multiple of
-     [tick_period] crossed while advancing the clock. Deliberately NOT
-     a heap event — a self-rescheduling sampler event would keep the
-     engine alive forever and perturb [events_executed]; the hook rides
-     on clock advancement instead, so enabling it cannot change a run's
-     event count, ordering, or final virtual time. *)
-  mutable tick_period : float;
+  (* fl.(0) now · fl.(1) next_tick · fl.(2) tick_period ·
+     fl.(3) tick_base · fl.(4) delay staged by [wait] for the handler *)
+  fl : float array;
   mutable tick_fn : (float -> unit) option;
-  mutable next_tick : float;
+  mutable tick_k : int;  (* next boundary is base +. float k *. period *)
+  (* event pool *)
+  mutable tags : int array;
+  mutable pays : Obj.t array;
+  mutable args : int array;  (* tag 3 argument, or free-list next *)
+  mutable free_head : int;  (* -1 = pool exhausted *)
+  (* preallocated once per engine; mutable only for create-time tying *)
+  mutable eff_handler : (unit, unit) Effect.Deep.handler;
+  mutable wait_some : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable susp_some : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable pending_register : resumer -> unit;
+  mutable self_some : t option;
 }
 
 exception Stopped
 
-type _ Effect.t += Wait : (t * float) -> unit Effect.t
-type _ Effect.t += Suspend : (t * (resumer -> unit)) -> unit Effect.t
+(* Payload-free: the per-perform data rides in engine fields ([fl].(4)
+   for the wait delay, [pending_register] for suspend) — a payload
+   would allocate a tuple and box the float on every perform. The
+   performing process always runs under its own engine's handler, so
+   no owner field is needed to route the effect. *)
+type _ Effect.t += Wait : unit Effect.t
+type _ Effect.t += Suspend : unit Effect.t
 
 (* The engine a process belongs to, used so [wait]/[suspend] need no
-   explicit engine argument. Set for the dynamic extent of each event. *)
+   explicit engine argument. Set for the dynamic extent of [run]/[step]
+   (not per event — saving/restoring per event cost a [Fun.protect]
+   closure on every dispatch). *)
 let current_engine : t option ref = ref None
 
-let compare_key a b =
-  let c = Float.compare a.time b.time in
-  if c <> 0 then c else Int.compare a.seq b.seq
+let dummy_pay : Obj.t = Obj.repr ()
 
-let create () =
+let dummy_handler : (unit, unit) Effect.Deep.handler =
   {
-    now = 0.0;
-    events = Heap.create ~cmp:compare_key ();
-    seq = 0;
-    executed = 0;
-    tick_period = 0.0;
-    tick_fn = None;
-    next_tick = Float.infinity;
+    Effect.Deep.retc = (fun () -> ());
+    exnc = raise;
+    effc = (fun (type a) (_ : a Effect.t) -> None);
   }
 
-let now t = t.now
+(* ---------------- event pool ---------------- *)
 
-let set_tick t ~period f =
-  if period <= 0.0 then invalid_arg "Engine.set_tick: period must be positive";
-  t.tick_period <- period;
-  t.tick_fn <- Some f;
-  t.next_tick <- t.now +. period
+let[@inline never] pool_grow t =
+  let old = Array.length t.tags in
+  let n = Stdlib.max 64 (2 * old) in
+  let tags = Array.make n 0 in
+  let pays = Array.make n dummy_pay in
+  let args = Array.make n 0 in
+  Array.blit t.tags 0 tags 0 old;
+  Array.blit t.pays 0 pays 0 old;
+  Array.blit t.args 0 args 0 old;
+  for i = old to n - 1 do
+    args.(i) <- i + 1
+  done;
+  args.(n - 1) <- -1;
+  t.tags <- tags;
+  t.pays <- pays;
+  t.args <- args;
+  t.free_head <- old
 
-let clear_tick t =
-  t.tick_period <- 0.0;
-  t.tick_fn <- None;
-  t.next_tick <- Float.infinity
+(* Grow only ever runs with the free list empty, so this returns a
+   valid slot unconditionally. *)
+let[@inline] alloc_slot t =
+  if t.free_head < 0 then pool_grow t;
+  let slot = t.free_head in
+  t.free_head <- Array.unsafe_get t.args slot;
+  slot
 
-(* Advance the clock to [time], firing the tick hook at every period
-   boundary crossed. The clock is set to the boundary before each call
-   so hook code reading [now] sees the sample instant. *)
-let advance t time =
-  (match t.tick_fn with
-  | Some f when t.tick_period > 0.0 ->
-      while t.next_tick <= time do
-        t.now <- t.next_tick;
-        f t.next_tick;
-        t.next_tick <- t.next_tick +. t.tick_period
-      done
-  | _ -> ());
-  t.now <- time
+(* ---------------- construction ---------------- *)
 
-let schedule t time thunk =
-  t.seq <- t.seq + 1;
-  Heap.push t.events { time; seq = t.seq } thunk
-
-let handler t =
-  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+let create () =
+  let t =
+    {
+      evq = Evq.create ();
+      seq = 0;
+      executed = 0;
+      fl = [| 0.0; Float.infinity; 0.0; 0.0; 0.0 |];
+      tick_fn = None;
+      tick_k = 0;
+      tags = [||];
+      pays = [||];
+      args = [||];
+      free_head = -1;
+      eff_handler = dummy_handler;
+      wait_some = None;
+      susp_some = None;
+      pending_register = (fun _ -> ());
+      self_some = None;
+    }
+  in
+  t.self_some <- Some t;
+  (* Handle Wait: pop the staged delay and park the continuation in a
+     pooled tag-2 slot due at now + delay. Everything here is field
+     traffic on [t] — no floats cross a call, nothing allocates. *)
+  t.wait_some <-
+    Some
+      (fun k ->
+        let fl = t.fl in
+        let d = fl.(4) in
+        let d = if d < 0.0 then 0.0 else d in
+        let slot = alloc_slot t in
+        t.tags.(slot) <- 2;
+        t.pays.(slot) <- Obj.repr k;
+        t.seq <- t.seq + 1;
+        t.evq.Evq.key_in.(0) <- fl.(0) +. d;
+        Evq.push t.evq ~seq:t.seq ~slot);
+  (* Handle Suspend: hand the registered callback a one-shot resumer
+     that schedules the continuation at resume-time [now]. This path
+     allocates (the resumer closure escapes to arbitrary holders) —
+     that is inherent to handing out a first-class resumer. *)
+  t.susp_some <-
+    Some
+      (fun k ->
+        let register = t.pending_register in
+        t.pending_register <- (fun _ -> ());
+        let fired = ref false in
+        let resume () =
+          if not !fired then begin
+            fired := true;
+            let slot = alloc_slot t in
+            t.tags.(slot) <- 2;
+            t.pays.(slot) <- Obj.repr k;
+            t.seq <- t.seq + 1;
+            t.evq.Evq.key_in.(0) <- t.fl.(0);
+            Evq.push t.evq ~seq:t.seq ~slot
+          end
+        in
+        register resume);
+  let effc : type a.
+      a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
     function
-    | Wait (owner, d) ->
-        assert (owner == t);
-        Some
-          (fun k ->
-            let d = if d < 0.0 then 0.0 else d in
-            schedule t (t.now +. d) (fun () -> Effect.Deep.continue k ()))
-    | Suspend (owner, register) ->
-        assert (owner == t);
-        Some
-          (fun k ->
-            let fired = ref false in
-            let resume () =
-              if not !fired then begin
-                fired := true;
-                schedule t t.now (fun () -> Effect.Deep.continue k ())
-              end
-            in
-            register resume)
+    | Wait -> t.wait_some
+    | Suspend -> t.susp_some
     | _ -> None
   in
-  { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc }
+  t.eff_handler <- { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc };
+  t
+
+let now t = t.fl.(0)
+
+(* ---------------- scheduling ---------------- *)
+
+let schedule t time thunk =
+  let slot = alloc_slot t in
+  t.tags.(slot) <- 1;
+  t.pays.(slot) <- Obj.repr thunk;
+  t.seq <- t.seq + 1;
+  t.evq.Evq.key_in.(0) <- time;
+  Evq.push t.evq ~seq:t.seq ~slot
+
+let timer t ~ns fn arg =
+  let ns = if ns < 0 then 0 else ns in
+  let slot = alloc_slot t in
+  (* Unchecked: [slot] comes from the free list, always in bounds. *)
+  Array.unsafe_set t.tags slot 3;
+  Array.unsafe_set t.pays slot (Obj.repr fn);
+  Array.unsafe_set t.args slot arg;
+  t.seq <- t.seq + 1;
+  Array.unsafe_set t.evq.Evq.key_in 0
+    (Array.unsafe_get t.fl 0 +. Stdlib.float_of_int ns);
+  Evq.push t.evq ~seq:t.seq ~slot
 
 let spawn t ?name f =
   ignore name;
-  schedule t t.now (fun () -> Effect.Deep.match_with f () (handler t))
+  let slot = alloc_slot t in
+  t.tags.(slot) <- 4;
+  t.pays.(slot) <- Obj.repr f;
+  t.seq <- t.seq + 1;
+  t.evq.Evq.key_in.(0) <- t.fl.(0);
+  Evq.push t.evq ~seq:t.seq ~slot
 
 let spawn_at t time f =
-  let time = Stdlib.max time t.now in
-  schedule t time (fun () -> Effect.Deep.match_with f () (handler t))
+  let time = Stdlib.max time t.fl.(0) in
+  let slot = alloc_slot t in
+  t.tags.(slot) <- 4;
+  t.pays.(slot) <- Obj.repr f;
+  t.seq <- t.seq + 1;
+  t.evq.Evq.key_in.(0) <- time;
+  Evq.push t.evq ~seq:t.seq ~slot
+
+(* ---------------- process-side API ---------------- *)
 
 let engine_of_process () =
   match !current_engine with
   | Some t -> t
   | None -> invalid_arg "Engine.wait/suspend called outside a process"
 
-let now_here () = (engine_of_process ()).now
+let now_here () = (engine_of_process ()).fl.(0)
 
 let wait d =
   let t = engine_of_process () in
-  Effect.perform (Wait (t, d))
+  t.fl.(4) <- d;
+  Effect.perform Wait
 
 let suspend register =
   let t = engine_of_process () in
-  Effect.perform (Suspend (t, register))
+  t.pending_register <- register;
+  Effect.perform Suspend
 
-let exec_event t k thunk =
-  advance t k.time;
+(* ---------------- ticks ---------------- *)
+
+let set_tick t ~period f =
+  if period <= 0.0 then invalid_arg "Engine.set_tick: period must be positive";
+  let fl = t.fl in
+  fl.(2) <- period;
+  fl.(3) <- fl.(0);
+  t.tick_k <- 1;
+  t.tick_fn <- Some f;
+  fl.(1) <- fl.(3) +. period
+
+let clear_tick t =
+  let fl = t.fl in
+  fl.(2) <- 0.0;
+  t.tick_fn <- None;
+  fl.(1) <- Float.infinity
+
+(* Fire the tick hook at every period boundary up to [time], then land
+   the clock on [time]. Boundaries are derived as base + k*period — not
+   accumulated with [+. period] per tick — so sample instants carry no
+   cumulative rounding drift over long runs. Out of line: it runs only
+   when a tick is installed and due. *)
+let[@inline never] advance_ticks t time =
+  let fl = t.fl in
+  (match t.tick_fn with
+  | Some f ->
+      let period = fl.(2) in
+      if period > 0.0 then
+        while fl.(1) <= time do
+          let b = fl.(1) in
+          fl.(0) <- b;
+          f b;
+          t.tick_k <- t.tick_k + 1;
+          fl.(1) <- fl.(3) +. (Stdlib.float_of_int t.tick_k *. period)
+        done
+  | None -> ());
+  fl.(0) <- time
+
+(* ---------------- dispatch ---------------- *)
+
+let[@inline] dispatch t slot =
+  (* Unchecked: [slot] was allocated from this pool and the pool never
+     shrinks, so it is always in bounds. *)
+  let tag = Array.unsafe_get t.tags slot in
+  let pay = Array.unsafe_get t.pays slot in
+  let arg = Array.unsafe_get t.args slot in
+  (* Free before calling: the callback may reschedule into this slot. *)
+  Array.unsafe_set t.tags slot 0;
+  Array.unsafe_set t.pays slot dummy_pay;
+  Array.unsafe_set t.args slot t.free_head;
+  t.free_head <- slot;
+  match tag with
+  | 1 -> (Obj.obj pay : unit -> unit) ()
+  | 2 ->
+      Effect.Deep.continue
+        (Obj.obj pay : (unit, unit) Effect.Deep.continuation)
+        ()
+  | 3 -> (Obj.obj pay : int -> unit) arg
+  | 4 -> Effect.Deep.match_with (Obj.obj pay : unit -> unit) () t.eff_handler
+  | _ -> assert false
+
+(* Advance the clock to the just-popped event's time and run it. The
+   no-tick case is two array cells compared and one store; the tick
+   loop is out of line. *)
+let[@inline] exec t slot =
+  let fl = t.fl in
+  let time = t.evq.Evq.key_out.(0) in
+  if time >= fl.(1) then advance_ticks t time else fl.(0) <- time;
   t.executed <- t.executed + 1;
-  let saved = !current_engine in
-  current_engine := Some t;
-  Fun.protect ~finally:(fun () -> current_engine := saved) thunk
+  dispatch t slot
+
+(* ---------------- driving ---------------- *)
 
 let step t =
-  match Heap.pop t.events with
-  | None -> false
-  | Some (k, thunk) ->
-      exec_event t k thunk;
-      true
+  let slot = Evq.pop t.evq in
+  if slot < 0 then false
+  else begin
+    let saved = !current_engine in
+    current_engine := t.self_some;
+    (match exec t slot with
+    | () -> current_engine := saved
+    | exception e ->
+        current_engine := saved;
+        raise e);
+    true
+  end
 
-(* The hot loop costs exactly one heap operation per event. With an
-   [until] bound the one event past the horizon is pushed back — keys
-   carry a unique sequence number, so it re-lands in its exact slot —
-   instead of peeking before every pop. *)
+(* The hot loop costs exactly one queue operation per event; the
+   [current_engine] save/restore happens once per [run], not per event.
+   With an [until] bound the one event past the horizon is pushed back
+   — it re-enters with its original (time, seq) key, so it re-lands in
+   its exact slot — instead of peeking before every pop. *)
 let run ?until t =
-  match until with
-  | None ->
-      let rec drain () =
-        match Heap.pop t.events with
-        | None -> ()
-        | Some (k, thunk) ->
-            exec_event t k thunk;
-            drain ()
-      in
-      drain ()
-  | Some limit ->
-      let rec drain () =
-        match Heap.pop t.events with
-        | None -> ()
-        | Some (k, thunk) ->
-            if k.time > limit then begin
-              advance t limit;
-              Heap.push t.events k thunk
-            end
-            else begin
-              exec_event t k thunk;
+  let saved = !current_engine in
+  current_engine := t.self_some;
+  Fun.protect
+    ~finally:(fun () -> current_engine := saved)
+    (fun () ->
+      match until with
+      | None ->
+          let rec drain () =
+            let slot = Evq.pop t.evq in
+            if slot >= 0 then begin
+              exec t slot;
               drain ()
             end
-      in
-      drain ()
+          in
+          drain ()
+      | Some limit ->
+          let rec drain () =
+            let slot = Evq.pop t.evq in
+            if slot >= 0 then
+              if t.evq.Evq.key_out.(0) > limit then begin
+                advance_ticks t limit;
+                t.evq.Evq.key_in.(0) <- t.evq.Evq.key_out.(0);
+                Evq.push t.evq ~seq:t.evq.Evq.out_seq ~slot
+              end
+              else begin
+                exec t slot;
+                drain ()
+              end
+          in
+          drain ())
 
-let active t = not (Heap.is_empty t.events)
+let active t = not (Evq.is_empty t.evq)
 
 let events_executed t = t.executed
 
-let stop_all t = Heap.clear t.events
+(* Blank the pool — not just the queue — so dropped events release
+   their closures/continuations to the GC instead of pinning them in
+   stale slots (the old heap-backed engine leaked exactly that way). *)
+let stop_all t =
+  Evq.clear t.evq;
+  let n = Array.length t.tags in
+  if n > 0 then begin
+    Array.fill t.tags 0 n 0;
+    Array.fill t.pays 0 n dummy_pay;
+    for i = 0 to n - 1 do
+      t.args.(i) <- i + 1
+    done;
+    t.args.(n - 1) <- -1;
+    t.free_head <- 0
+  end

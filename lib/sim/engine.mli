@@ -28,6 +28,21 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
 val spawn_at : t -> float -> (unit -> unit) -> unit
 (** [spawn_at t time f] starts [f] at absolute virtual [time]. *)
 
+val schedule : t -> float -> (unit -> unit) -> unit
+(** [schedule t time thunk] runs [thunk] at absolute virtual [time] as
+    a plain callback — no effect handler, so [thunk] must not call
+    {!wait}/{!suspend}. Cheaper than {!spawn_at} for fire-and-forget
+    actions; does not clamp past times (the queue orders them by
+    (time, seq) like any other event). *)
+
+val timer : t -> ns:int -> (int -> unit) -> int -> unit
+(** [timer t ~ns fn arg] runs [fn arg] after [ns] simulated
+    nanoseconds (negative treated as 0). The closure-free hot path:
+    with a preallocated [fn], scheduling and dispatch touch only the
+    engine's event pool — zero minor-heap allocation, unlike
+    {!schedule}/{!wait} which cost a closure / an effect continuation.
+    [fn] must not call {!wait}/{!suspend}. *)
+
 val now_here : unit -> float
 (** Current virtual time of the calling process's engine. Must be
     called from within a process (like {!wait}); lets library code read

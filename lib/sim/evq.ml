@@ -1,0 +1,463 @@
+(* Monomorphic simulator event queue: a bucketed calendar-queue front
+   end over a flat structure-of-arrays binary heap for far-future
+   events.
+
+   Entries are (time : float, seq : int, slot : int) triples kept in
+   parallel unboxed arrays — no boxed keys, no closures, no comparator
+   indirection: every comparison is an inlined (time, seq) test on
+   unboxed floats and ints. Pop order is exactly ascending (time, seq),
+   i.e. byte-identical to the binary heap the engine used before
+   (same-time entries drain in push order because seqs are unique and
+   monotonic).
+
+   Layout. The calendar covers one window of [nbuckets] buckets of
+   [width] ns starting at [wstart]; an entry due inside the window is
+   appended, unsorted, to its bucket. Entries past the window go to the
+   overflow heap. Draining sorts each bucket once when the cursor
+   reaches it; entries that arrive for the bucket currently draining
+   (schedule-at-now is common) are insertion-placed into the sorted
+   remainder. When the window is exhausted it is re-anchored at the
+   overflow minimum and every heap entry now inside the new window
+   migrates into buckets, so an idle stretch costs one re-anchor, not a
+   walk over empty buckets.
+
+   Floats must never cross a function boundary on the hot path (the
+   compiler would box them), so the API is staged: writers store the
+   time into [key_in] before calling {!push}; {!pop} returns the slot
+   and leaves the key in [key_out]/[out_seq]. The record is deliberately
+   transparent so the engine reads those cells without a call. *)
+
+type t = {
+  key_in : float array;  (* [0] = time staged by the caller before push *)
+  key_out : float array;  (* [0] = time of the last popped entry *)
+  mutable out_seq : int;  (* seq of the last popped entry *)
+  nbuckets : int;
+  (* Hot float state lives in a flat array, not record fields: a float
+     field in a mixed record is boxed, so reads cost two loads and
+     writes allocate. fq.(0) = wstart (bucket 0's left edge) ·
+     fq.(1) = 1/width (the per-push divide is a multiply) ·
+     fq.(2) = float nbuckets · fq.(3) = width *)
+  fq : float array;
+  mutable cur : int;  (* draining bucket; [nbuckets] = window exhausted *)
+  mutable cur_sorted : bool;
+  bt : float array array;  (* per-bucket times *)
+  bs : int array array;  (* per-bucket seqs *)
+  bv : int array array;  (* per-bucket slots *)
+  blen : int array;
+  bpos : int array;  (* drain position within the current bucket *)
+  occ : int array;  (* occupancy bitmap, 32 buckets per word *)
+  mutable ht : float array;  (* overflow heap, SoA *)
+  mutable hs : int array;
+  mutable hv : int array;
+  mutable hsize : int;
+  mutable count : int;
+}
+
+(* Narrow buckets keep each bucket's sort small and keep re-arms out of
+   the insertion-into-current-bucket path even under thousands of
+   outstanding events; the occupancy bitmap makes skipping the many
+   empty buckets O(1), so sparse workloads don't pay for the width.
+   16384 x 8 ns = a 131 us window before the overflow heap kicks in. *)
+let default_nbuckets = 16384
+
+let default_width = 8.0
+
+let create ?(nbuckets = default_nbuckets) ?(width = default_width) () =
+  if nbuckets <= 0 then invalid_arg "Evq.create: nbuckets must be positive";
+  if not (width > 0.0) then invalid_arg "Evq.create: width must be positive";
+  {
+    key_in = Array.make 1 0.0;
+    key_out = Array.make 1 0.0;
+    out_seq = 0;
+    nbuckets;
+    fq = [| 0.0; 1.0 /. width; Stdlib.float_of_int nbuckets; width |];
+    cur = 0;
+    cur_sorted = false;
+    bt = Array.make nbuckets [||];
+    bs = Array.make nbuckets [||];
+    bv = Array.make nbuckets [||];
+    blen = Array.make nbuckets 0;
+    bpos = Array.make nbuckets 0;
+    occ = Array.make ((nbuckets + 31) / 32) 0;
+    ht = [||];
+    hs = [||];
+    hv = [||];
+    hsize = 0;
+    count = 0;
+  }
+
+let length t = t.count
+
+let is_empty t = t.count = 0
+
+(* (t1, s1) < (t2, s2) in event order. Seqs are unique, so this is a
+   strict total order. The annotations are load-bearing: without them
+   [<] is the polymorphic compare, which boxes both floats at every
+   call site and dwarfs the queue's entire allocation budget. *)
+let[@inline] before (t1 : float) (s1 : int) (t2 : float) (s2 : int) =
+  t1 < t2 || (t1 = t2 && s1 < s2)
+
+(* ---------------- overflow heap ---------------- *)
+
+let heap_grow t =
+  let n = Stdlib.max 64 (2 * Array.length t.ht) in
+  let ht = Array.make n 0.0 and hs = Array.make n 0 and hv = Array.make n 0 in
+  Array.blit t.ht 0 ht 0 t.hsize;
+  Array.blit t.hs 0 hs 0 t.hsize;
+  Array.blit t.hv 0 hv 0 t.hsize;
+  t.ht <- ht;
+  t.hs <- hs;
+  t.hv <- hv
+
+(* The entry's time is read from [key_in] (staged by the caller of
+   {!push}) rather than passed: a float argument to this non-inlined
+   function would be boxed at every overflow push. *)
+let heap_push t seq slot =
+  if t.hsize >= Array.length t.ht then heap_grow t;
+  let time = t.key_in.(0) in
+  let ht = t.ht and hs = t.hs and hv = t.hv in
+  let i = ref t.hsize in
+  t.hsize <- t.hsize + 1;
+  (* Sift up with the new entry held in registers: one store per level. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before time seq ht.(parent) hs.(parent) then begin
+      ht.(!i) <- ht.(parent);
+      hs.(!i) <- hs.(parent);
+      hv.(!i) <- hv.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  ht.(!i) <- time;
+  hs.(!i) <- seq;
+  hv.(!i) <- slot
+
+(* Remove the heap minimum; the caller reads it from ht/hs/hv.(0) first. *)
+let heap_drop_min t =
+  t.hsize <- t.hsize - 1;
+  let n = t.hsize in
+  if n > 0 then begin
+    let ht = t.ht and hs = t.hs and hv = t.hv in
+    let time = ht.(n) and seq = hs.(n) and slot = hv.(n) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && before ht.(r) hs.(r) ht.(l) hs.(l) then r else l
+        in
+        if before ht.(c) hs.(c) time seq then begin
+          ht.(!i) <- ht.(c);
+          hs.(!i) <- hs.(c);
+          hv.(!i) <- hv.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    ht.(!i) <- time;
+    hs.(!i) <- seq;
+    hv.(!i) <- slot
+  end
+
+(* ---------------- occupancy bitmap ---------------- *)
+
+(* Unchecked accesses throughout the occupancy/bucket/heap hot paths:
+   every index is maintained internally (bucket indices are clamped to
+   [0, nbuckets), positions are bounded by blen/bpos/hsize invariants,
+   capacities by bucket_reserve/heap_grow), and these run several times
+   per simulated event. *)
+
+let[@inline] occ_set t b =
+  let w = b lsr 5 in
+  Array.unsafe_set t.occ w (Array.unsafe_get t.occ w lor (1 lsl (b land 31)))
+
+let[@inline] occ_clear t b =
+  let w = b lsr 5 in
+  Array.unsafe_set t.occ w
+    (Array.unsafe_get t.occ w land lnot (1 lsl (b land 31)))
+
+(* Trailing-zero count of a nonzero value < 2^32 via the classic
+   de Bruijn multiply (no ctz intrinsic in the compiler's portable
+   subset). The product is masked to 32 bits before the shift because
+   native ints are wider. *)
+let ctz_table =
+  let tbl = Array.make 32 0 in
+  for i = 0 to 31 do
+    tbl.((((1 lsl i) * 0x077CB531) land 0xFFFFFFFF) lsr 27) <- i
+  done;
+  tbl
+
+let[@inline] ctz x =
+  let lsb = x land -x in
+  Array.unsafe_get ctz_table (((lsb * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+(* First occupied bucket >= [b], or [nbuckets] if none: one masked word
+   test for the common dense case, then whole empty words are skipped
+   32 buckets at a time. *)
+let next_occupied t b =
+  if b >= t.nbuckets then t.nbuckets
+  else begin
+    let nw = Array.length t.occ in
+    let w = ref (b lsr 5) in
+    let bits = ref (Array.unsafe_get t.occ !w land (-1 lsl (b land 31))) in
+    while !bits = 0 && !w + 1 < nw do
+      incr w;
+      bits := Array.unsafe_get t.occ !w
+    done;
+    if !bits = 0 then t.nbuckets else (!w lsl 5) + ctz !bits
+  end
+
+(* ---------------- buckets ---------------- *)
+
+let bucket_reserve t b need =
+  let cap = Array.length t.bt.(b) in
+  if need > cap then begin
+    let n = Stdlib.max 8 (Stdlib.max need (2 * cap)) in
+    let bt = Array.make n 0.0 and bs = Array.make n 0 and bv = Array.make n 0 in
+    let len = t.blen.(b) in
+    Array.blit t.bt.(b) 0 bt 0 len;
+    Array.blit t.bs.(b) 0 bs 0 len;
+    Array.blit t.bv.(b) 0 bv 0 len;
+    t.bt.(b) <- bt;
+    t.bs.(b) <- bs;
+    t.bv.(b) <- bv
+  end
+
+(* Forced inline: [time] must not cross a real call boundary — a float
+   argument to a non-inlined function is boxed (2 words), which is the
+   entire per-event allocation budget. *)
+let[@inline] bucket_append t b time seq slot =
+  let len = Array.unsafe_get t.blen b in
+  bucket_reserve t b (len + 1);
+  Array.unsafe_set (Array.unsafe_get t.bt b) len time;
+  Array.unsafe_set (Array.unsafe_get t.bs b) len seq;
+  Array.unsafe_set (Array.unsafe_get t.bv b) len slot;
+  Array.unsafe_set t.blen b (len + 1);
+  occ_set t b
+
+(* In-place quicksort of the triple arrays by (time, seq), insertion
+   sort below a small cutoff, median-of-three pivot. Runs once per
+   bucket, when the drain cursor reaches it. *)
+(* Top level (not a local closure inside sort3): a closure capturing the
+   three arrays would be allocated once per quicksort frame. Annotated
+   so the array reads compile to unboxed monomorphic accesses. *)
+let swap3 (ta : float array) (sa : int array) (va : int array) i j =
+  let xt = ta.(i) and xs = sa.(i) and xv = va.(i) in
+  ta.(i) <- ta.(j);
+  sa.(i) <- sa.(j);
+  va.(i) <- va.(j);
+  ta.(j) <- xt;
+  sa.(j) <- xs;
+  va.(j) <- xv
+
+let rec sort3 ta sa va lo hi =
+  if hi - lo < 12 then
+    for i = lo + 1 to hi do
+      let kt = ta.(i) and ks = sa.(i) and kv = va.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && before kt ks ta.(!j) sa.(!j) do
+        ta.(!j + 1) <- ta.(!j);
+        sa.(!j + 1) <- sa.(!j);
+        va.(!j + 1) <- va.(!j);
+        decr j
+      done;
+      ta.(!j + 1) <- kt;
+      sa.(!j + 1) <- ks;
+      va.(!j + 1) <- kv
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    if before ta.(mid) sa.(mid) ta.(lo) sa.(lo) then swap3 ta sa va lo mid;
+    if before ta.(hi) sa.(hi) ta.(lo) sa.(lo) then swap3 ta sa va lo hi;
+    if before ta.(hi) sa.(hi) ta.(mid) sa.(mid) then swap3 ta sa va mid hi;
+    let pt = ta.(mid) and ps = sa.(mid) in
+    let i = ref (lo - 1) and j = ref (hi + 1) in
+    let p = ref (-1) in
+    while !p < 0 do
+      incr i;
+      while before ta.(!i) sa.(!i) pt ps do
+        incr i
+      done;
+      decr j;
+      while before pt ps ta.(!j) sa.(!j) do
+        decr j
+      done;
+      if !i >= !j then p := !j else swap3 ta sa va !i !j
+    done;
+    sort3 ta sa va lo !p;
+    sort3 ta sa va (!p + 1) hi
+  end
+
+(* Place an entry into the sorted remainder [bpos, blen) of the bucket
+   being drained (binary search + shift). Used for schedule-at-now and
+   for any entry whose time lands at or before the drain cursor. Like
+   {!heap_push}, the time comes from [key_in] — this path runs on every
+   push while other events are outstanding, so a boxed float argument
+   here would blow the per-event allocation budget. *)
+let insert_current t seq slot =
+  let time = Array.unsafe_get t.key_in 0 in
+  let b = t.cur in
+  let len = Array.unsafe_get t.blen b in
+  bucket_reserve t b (len + 1);
+  let ta = Array.unsafe_get t.bt b
+  and sa = Array.unsafe_get t.bs b
+  and va = Array.unsafe_get t.bv b in
+  let lo = ref (Array.unsafe_get t.bpos b) and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if
+      before (Array.unsafe_get ta mid) (Array.unsafe_get sa mid) time seq
+    then lo := mid + 1
+    else hi := mid
+  done;
+  let p = !lo in
+  Array.blit ta p ta (p + 1) (len - p);
+  Array.blit sa p sa (p + 1) (len - p);
+  Array.blit va p va (p + 1) (len - p);
+  Array.unsafe_set ta p time;
+  Array.unsafe_set sa p seq;
+  Array.unsafe_set va p slot;
+  Array.unsafe_set t.blen b (len + 1);
+  occ_set t b
+
+(* ---------------- push / pop ---------------- *)
+
+(* The time is staged in key_in.(0) (see the header comment). *)
+let push t ~seq ~slot =
+  let time = Array.unsafe_get t.key_in 0 in
+  let fq = t.fq in
+  let f = (time -. Array.unsafe_get fq 0) *. Array.unsafe_get fq 1 in
+  if t.count = 0 then begin
+    t.count <- 1;
+    (* Empty queue: jump the cursor straight to the entry's bucket when
+       it still fits the window (the common closed-loop case), else
+       re-anchor the window at the entry. *)
+    if f >= 0.0 && f < Array.unsafe_get fq 2 then begin
+      let b = int_of_float f in
+      t.cur <- b;
+      t.cur_sorted <- false;
+      bucket_append t b time seq slot
+    end
+    else begin
+      Array.unsafe_set fq 0 time;
+      t.cur <- 0;
+      t.cur_sorted <- false;
+      bucket_append t 0 time seq slot
+    end
+  end
+  else begin
+    t.count <- t.count + 1;
+    if f >= Array.unsafe_get fq 2 || t.cur >= t.nbuckets then
+      heap_push t seq slot
+    else begin
+      let b = int_of_float f in
+      let b = if b < 0 then 0 else b in
+      if b <= t.cur then
+        if t.cur_sorted then insert_current t seq slot
+        else bucket_append t t.cur time seq slot
+      else bucket_append t b time seq slot
+    end
+  end
+
+(* Re-anchor the window at the overflow minimum and migrate every heap
+   entry that now falls inside it. Called with all buckets empty. *)
+let advance_window t =
+  let fq = t.fq in
+  fq.(0) <- t.ht.(0);
+  t.cur <- 0;
+  t.cur_sorted <- false;
+  let fmax = fq.(2) in
+  let continue = ref true in
+  while !continue && t.hsize > 0 do
+    let time = t.ht.(0) in
+    let f = (time -. fq.(0)) *. fq.(1) in
+    if f >= fmax then continue := false
+    else begin
+      let seq = t.hs.(0) and slot = t.hv.(0) in
+      heap_drop_min t;
+      let b = int_of_float f in
+      let b = if b < 0 then 0 else b in
+      bucket_append t b time seq slot
+    end
+  done
+
+(* Pop the minimum entry: returns its slot, or -1 when empty; the key
+   is left in key_out.(0) / out_seq. *)
+let rec pop t =
+  if t.count = 0 then -1
+  else if t.cur < t.nbuckets then begin
+    let b = t.cur in
+    if (not t.cur_sorted) && Array.unsafe_get t.blen b = 1 then begin
+      (* Untouched single-entry bucket — the common case at this bucket
+         width: emit directly, skipping the sort/bpos protocol. *)
+      Array.unsafe_set t.key_out 0
+        (Array.unsafe_get (Array.unsafe_get t.bt b) 0);
+      t.out_seq <- Array.unsafe_get (Array.unsafe_get t.bs b) 0;
+      let slot = Array.unsafe_get (Array.unsafe_get t.bv b) 0 in
+      t.count <- t.count - 1;
+      Array.unsafe_set t.blen b 0;
+      occ_clear t b;
+      t.cur <- next_occupied t (b + 1);
+      slot
+    end
+    else pop_slow t b
+  end
+  else begin
+    (* Window exhausted; count > 0 means the overflow heap is live. *)
+    advance_window t;
+    pop t
+  end
+
+and pop_slow t b =
+  begin
+    if not t.cur_sorted then begin
+      if Array.unsafe_get t.blen b > 1 then
+        sort3 t.bt.(b) t.bs.(b) t.bv.(b) 0 (t.blen.(b) - 1);
+      Array.unsafe_set t.bpos b 0;
+      t.cur_sorted <- true
+    end;
+    let p = Array.unsafe_get t.bpos b in
+    let len = Array.unsafe_get t.blen b in
+    if p < len then begin
+      Array.unsafe_set t.key_out 0 (Array.unsafe_get (Array.unsafe_get t.bt b) p);
+      t.out_seq <- Array.unsafe_get (Array.unsafe_get t.bs b) p;
+      let slot = Array.unsafe_get (Array.unsafe_get t.bv b) p in
+      t.count <- t.count - 1;
+      let p' = p + 1 in
+      if p' = len then begin
+        Array.unsafe_set t.blen b 0;
+        Array.unsafe_set t.bpos b 0;
+        occ_clear t b;
+        t.cur <- next_occupied t (b + 1);
+        t.cur_sorted <- false
+      end
+      else Array.unsafe_set t.bpos b p';
+      slot
+    end
+    else begin
+      t.blen.(b) <- 0;
+      t.bpos.(b) <- 0;
+      occ_clear t b;
+      t.cur <- next_occupied t (b + 1);
+      t.cur_sorted <- false;
+      pop t
+    end
+  end
+
+(* Slots, times and seqs are scalars — clearing the counters is enough
+   for the GC; the engine owns (and blanks) the payload pool. *)
+let clear t =
+  Array.fill t.blen 0 t.nbuckets 0;
+  Array.fill t.bpos 0 t.nbuckets 0;
+  Array.fill t.occ 0 (Array.length t.occ) 0;
+  t.cur <- 0;
+  t.cur_sorted <- false;
+  t.fq.(0) <- 0.0;
+  t.hsize <- 0;
+  t.count <- 0

@@ -62,12 +62,28 @@ let pop t =
     if t.size > 0 then begin
       t.keys.(0) <- t.keys.(t.size);
       t.vals.(0) <- t.vals.(t.size);
+      (* Overwrite the vacated tail slot with a live entry so the heap
+         retains no reference to the popped key/value — a generic heap
+         has no dummy element to blank with, but duplicating the root
+         pins only data the heap still owns. *)
+      t.keys.(t.size) <- t.keys.(0);
+      t.vals.(t.size) <- t.vals.(0);
       sift_down t 0
+    end
+    else begin
+      (* Emptied: drop the backing arrays outright, else slot 0 (and
+         any stale tail) would pin the last popped entries for the
+         heap's lifetime. *)
+      t.keys <- [||];
+      t.vals <- [||]
     end;
     Some (k, v)
   end
 
-let clear t = t.size <- 0
+let clear t =
+  t.size <- 0;
+  t.keys <- [||];
+  t.vals <- [||]
 
 let to_sorted_list t =
   let copy =

@@ -18,6 +18,9 @@ val pop : ('k, 'v) t -> ('k * 'v) option
     in the key. *)
 
 val clear : ('k, 'v) t -> unit
+(** Drops all entries {e and} the backing arrays: cleared (and fully
+    drained) heaps retain no references to previously stored keys or
+    values, so the GC can reclaim them. *)
 
 val to_sorted_list : ('k, 'v) t -> ('k * 'v) list
 (** Non-destructive; for tests. *)

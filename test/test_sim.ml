@@ -96,6 +96,99 @@ let test_engine_resumer_one_shot () =
   Engine.run e;
   Alcotest.(check int) "woken exactly once" 1 !wakeups
 
+let test_engine_until_pushback_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iteri
+    (fun i d -> Engine.schedule e d (fun () -> log := (i, Engine.now e) :: !log))
+    [ 10.0; 20.0; 20.0; 30.0 ];
+  Engine.run ~until:15.0 e;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "only the pre-horizon event ran" [ (0, 10.0) ] (List.rev !log);
+  (* The event popped past the horizon was pushed back with its original
+     (time, seq) key: resuming must preserve same-time FIFO order. *)
+  Engine.run e;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "pushed-back event keeps its slot"
+    [ (0, 10.0); (1, 20.0); (2, 20.0); (3, 30.0) ]
+    (List.rev !log)
+
+(* Regression for tick-boundary drift: boundaries are derived as
+   base + k*period, so with period 0.1 every sample instant is exactly
+   float k *. 0.1 — the old [next_tick +. period] accumulation drifted
+   off these values within ten ticks. Exact comparison, epsilon 0. *)
+let test_engine_tick_exact_boundaries () =
+  let e = Engine.create () in
+  let ticks = ref [] in
+  Engine.set_tick e ~period:0.1 (fun b -> ticks := b :: !ticks);
+  Engine.schedule e 1.0 (fun () -> ());
+  Engine.run e;
+  let expected = List.init 10 (fun i -> Stdlib.float_of_int (i + 1) *. 0.1) in
+  Alcotest.(check (list (float 0.0))) "boundaries exact" expected
+    (List.rev !ticks)
+
+let test_engine_timer () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec fn n =
+    incr count;
+    if n > 1 then Engine.timer e ~ns:50 fn (n - 1)
+  in
+  Engine.timer e ~ns:50 fn 10;
+  Engine.run e;
+  Alcotest.(check int) "ten firings" 10 !count;
+  check_float "clock advanced 10 * 50ns" 500.0 (Engine.now e);
+  Alcotest.(check int) "one event per firing" 10 (Engine.events_executed e)
+
+(* The pooled timer path must not allocate in steady state: slots are
+   recycled, times travel through staging cells, dispatch is tagged.
+   Budget is <= 2 minor words/event (the occasional calendar-window
+   re-anchor writes one boxed float). Native only — bytecode boxes
+   everything. *)
+let test_engine_timer_alloc_free () =
+  let e = Engine.create () in
+  let remaining = ref 0 in
+  let rec fn arg =
+    if !remaining > 0 then begin
+      decr remaining;
+      Engine.timer e ~ns:100 fn arg
+    end
+  in
+  remaining := 1_000;
+  Engine.timer e ~ns:100 fn 0;
+  Engine.run e;
+  remaining := 5_000;
+  Engine.timer e ~ns:100 fn 0;
+  let e0 = Engine.events_executed e in
+  let w0 = Gc.minor_words () in
+  Engine.run e;
+  let w1 = Gc.minor_words () in
+  let events = Engine.events_executed e - e0 in
+  let per_event = (w1 -. w0) /. Stdlib.float_of_int events in
+  match Sys.backend_type with
+  | Sys.Native ->
+      Alcotest.(check bool)
+        (Printf.sprintf "timer path allocates <= 2 words/event (got %.3f)"
+           per_event)
+        true
+        (per_event <= 2.0)
+  | Sys.Bytecode | Sys.Other _ -> ()
+
+(* stop_all must blank the event pool, not just the queue indices, so
+   dropped events release their closures to the GC. *)
+let test_engine_stop_all_releases () =
+  let e = Engine.create () in
+  let freed = ref false in
+  let mk () =
+    let payload = ref 42 in
+    Gc.finalise (fun _ -> freed := true) payload;
+    fun () -> ignore !payload
+  in
+  Engine.schedule e 10.0 (mk ());
+  Engine.stop_all e;
+  Gc.full_major ();
+  Alcotest.(check bool) "stopped engine retains no closures" true !freed
+
 let test_engine_determinism () =
   let run_once () =
     let e = Engine.create () in
@@ -111,6 +204,56 @@ let test_engine_determinism () =
   in
   let a = run_once () and b = run_once () in
   Alcotest.(check (pair string int)) "identical replay" a b
+
+(* ------------------------------------------------------------------ *)
+(* Evq                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The calendar queue must pop the exact same (time, seq, slot)
+   sequence as a binary heap ordered on (time, seq) — the engine's
+   byte-identical-output guarantee rests on this. The generator drives
+   random push/pop interleavings with duplicate times (same-time FIFO),
+   a tiny 8x16ns window so times up to ~1000 constantly overflow into
+   the far-future heap and force window advances, and pushes landing at
+   or before the drain cursor (schedule-at-now). *)
+let prop_evq_matches_heap =
+  let key_cmp (t1, s1) (t2, s2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c else Int.compare s1 s2
+  in
+  QCheck.Test.make ~name:"evq pops the same (time,seq) sequence as a heap"
+    ~count:300
+    QCheck.(list (pair (int_range 0 4) small_int))
+    (fun ops ->
+      let q = Evq.create ~nbuckets:8 ~width:16.0 () in
+      let h = Heap.create ~cmp:key_cmp () in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        let slot = Evq.pop q in
+        match Heap.pop h with
+        | None -> ok := !ok && slot < 0
+        | Some ((time, s), hslot) ->
+            ok :=
+              !ok && slot = hslot
+              && q.Evq.key_out.(0) = time
+              && q.Evq.out_seq = s
+      in
+      List.iter
+        (fun (sel, m) ->
+          if sel = 0 then pop_both ()
+          else begin
+            incr seq;
+            let time = Stdlib.float_of_int (m * 97 mod 1000) in
+            q.Evq.key_in.(0) <- time;
+            Evq.push q ~seq:!seq ~slot:!seq;
+            Heap.push h (time, !seq) !seq
+          end)
+        ops;
+      while not (Evq.is_empty q) || not (Heap.is_empty h) do
+        pop_both ()
+      done;
+      !ok && Evq.length q = 0)
 
 (* ------------------------------------------------------------------ *)
 (* Heap                                                                *)
@@ -132,6 +275,28 @@ let prop_heap_sorts =
       List.iter (fun x -> Heap.push h x ()) xs;
       let drained = List.map fst (Heap.to_sorted_list h) in
       drained = List.sort Int.compare xs)
+
+(* Leak regression: a drained or cleared heap must not pin popped
+   values — pop blanks the vacated tail slot and an emptied/cleared
+   heap drops its backing arrays. *)
+let test_heap_releases_entries () =
+  let h = Heap.create ~cmp:Int.compare () in
+  let freed = ref 0 in
+  let add k =
+    let v = ref k in
+    Gc.finalise (fun _ -> incr freed) v;
+    Heap.push h k v
+  in
+  List.iter add [ 3; 1; 2 ];
+  for _ = 1 to 3 do
+    ignore (Heap.pop h)
+  done;
+  Gc.full_major ();
+  Alcotest.(check int) "drained heap retains nothing" 3 !freed;
+  List.iter add [ 5; 4 ];
+  Heap.clear h;
+  Gc.full_major ();
+  Alcotest.(check int) "cleared heap retains nothing" 5 !freed
 
 let prop_heap_length =
   QCheck.Test.make ~name:"heap length tracks push/pop" ~count:200
@@ -462,10 +627,21 @@ let () =
           Alcotest.test_case "negative wait" `Quick test_engine_negative_wait;
           Alcotest.test_case "suspend/resume" `Quick test_engine_suspend_resume;
           Alcotest.test_case "resumer one-shot" `Quick test_engine_resumer_one_shot;
+          Alcotest.test_case "until pushback order" `Quick
+            test_engine_until_pushback_order;
+          Alcotest.test_case "tick exact boundaries" `Quick
+            test_engine_tick_exact_boundaries;
+          Alcotest.test_case "timer" `Quick test_engine_timer;
+          Alcotest.test_case "timer alloc-free" `Quick
+            test_engine_timer_alloc_free;
+          Alcotest.test_case "stop_all releases" `Quick
+            test_engine_stop_all_releases;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
         ] );
+      ("evq", [ QCheck_alcotest.to_alcotest prop_evq_matches_heap ]);
       ( "heap",
         Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: Alcotest.test_case "releases entries" `Quick test_heap_releases_entries
         :: List.map QCheck_alcotest.to_alcotest [ prop_heap_sorts; prop_heap_length ]
       );
       ( "mailbox",
