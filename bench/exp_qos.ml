@@ -1,0 +1,519 @@
+(* Multi-tenant QoS: O(1) DRR dispatch at scale and noisy-neighbor
+   isolation.
+
+   Three parts:
+
+   1. DRR micro-benchmark. Registers T tenants (T in 16/256/4096), keeps
+      8 of them backlogged, and drives the Tenant dispatch stage bare —
+      no engine, no device — in a one-in-one-out steady loop (each
+      release lets exactly one queued op dispatch). Queued ops all park
+      on one shared, never-parked cell, so unpark is a no-op and the
+      loop measures pure data-structure cost. Gates: minor words/op
+      within the 2.0 event budget (deterministic, native only), weighted
+      fairness among backlogged tenants, and — under LABSTOR_WALLCLOCK —
+      dispatch ns/op at 4096 tenants within 1.25x its 16-tenant value
+      (the O(1)-in-tenant-count claim).
+
+   2. Waitq park/wake A/B. The pooled park-cell Waitq versus an inline
+      replica of the pre-rewrite Waitq (a Queue of {slot; resume}
+      records, one Engine.suspend closure per park), measured in minor
+      words per park/wake cycle with a pooled timer as the waker.
+
+   3. Noisy-neighbor sweep. N well-behaved tenants — each a qd-1 mixed
+      stream of 16 KiB reads (latency-class, bypasses the window) with
+      every 8th op a 32 KiB write (throughput-class, passes DRR) —
+      against 48 clients sharing one misbehaving tenant looping 20 KiB
+      writes, on a blkswitch_sched -> kernel_driver stack. The noisy
+      tenant is token-bucket capped (700 MB/s, qcap 32). The gated
+      metric is the latency-class SLO: p99 of the polite *reads*, which
+      already carries the tenants' own bulk-transfer residual — the
+      attacker can add at most one non-preemptible transfer on top, so
+      isolation holds structurally. Gate: read p99 under attack at most
+      1.5x read p99 alone, at every N.
+
+   A machine-readable summary is written to BENCH_qos.json (N = 16/256
+   e2e points only; the full-mode N = 4096 point is printed and gated
+   but kept out of the JSON so smoke and full runs share a key set).
+   LABSTOR_SMOKE=1 (or --smoke) shrinks the workload; wall-clock rates
+   print only under LABSTOR_WALLCLOCK. *)
+
+open Labstor
+open Lab_sim
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: DRR dispatch micro-benchmark                                *)
+
+let drr_op_bytes = 32768
+
+let drr_active = 8
+
+type drr_out = {
+  words_per_op : float;
+  ns_per_op : float; (* 0.0 unless LABSTOR_WALLCLOCK *)
+  fairness : float; (* served bytes per unit weight, max/min *)
+}
+
+let drr_case ~ntenants ~ops =
+  let table = Ipc.Tenant.create () in
+  let tenants =
+    Array.init ntenants (fun i ->
+        Ipc.Tenant.register table ~ext_id:i
+          ~weight:(1 + (i mod 4))
+          ~rate_mbps:0.0 ~burst_bytes:(256 * 1024) ~qcap:max_int)
+  in
+  (* Every queued op parks on this one shared cell, and the bench never
+     actually parks — so each dispatch's unpark is a no-op and the loop
+     exercises the DRR structures bare, with no engine involved. *)
+  let cell = Engine.make_park_cell () in
+  let submit i =
+    let tn = tenants.(i mod drr_active) in
+    ignore (Ipc.Tenant.submit table tn ~bytes:drr_op_bytes cell : bool)
+  in
+  (* Standing backlog: the window admits its first few ops, the rest
+     queue round-robin across the active set. *)
+  for i = 0 to (drr_active * 256) - 1 do
+    submit i
+  done;
+  (* Weighted fairness, while every active tenant is still backlogged:
+     releases only (no resubmission), so service reflects DRR weights
+     rather than the submission pattern. *)
+  let served0 =
+    Array.map (fun tn -> Ipc.Tenant.served_bytes tn) (Array.sub tenants 0 drr_active)
+  in
+  for _ = 1 to 1000 do
+    Ipc.Tenant.release table ~bytes:drr_op_bytes
+  done;
+  let per_weight =
+    Array.init drr_active (fun i ->
+        float_of_int (Ipc.Tenant.served_bytes tenants.(i) - served0.(i))
+        /. float_of_int (Ipc.Tenant.weight tenants.(i)))
+  in
+  let fmax = Array.fold_left Stdlib.max neg_infinity per_weight in
+  let fmin = Array.fold_left Stdlib.min infinity per_weight in
+  (* Steady-state dispatch cost: one-in-one-out, so every release
+     dispatches exactly one queued op. Warm up first so the per-tenant
+     rings reach their high-water mark and stop growing. *)
+  for i = 0 to 4095 do
+    Ipc.Tenant.release table ~bytes:drr_op_bytes;
+    submit i
+  done;
+  let w0 = Gc.minor_words () in
+  let t0 = Sys.time () in
+  for i = 0 to ops - 1 do
+    Ipc.Tenant.release table ~bytes:drr_op_bytes;
+    submit i
+  done;
+  let wall = Sys.time () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  {
+    words_per_op = words /. float_of_int ops;
+    ns_per_op =
+      (if Bench_util.wallclock_enabled () then wall *. 1e9 /. float_of_int ops
+       else 0.0);
+    fairness = fmax /. Stdlib.max 1.0 fmin;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Waitq park/wake — pooled cells vs the pre-rewrite design    *)
+
+(* Inline replica of the old Waitq: an entry record and an
+   Engine.suspend closure per park. Kept here (not in lib/) purely as
+   the A/B baseline. *)
+module Legacy_waitq = struct
+  type 'a entry = { slot : 'a option ref; resume : Engine.resumer }
+
+  type 'a t = 'a entry Queue.t
+
+  let create () : 'a t = Queue.create ()
+
+  let length = Queue.length
+
+  let park (q : 'a t) slot =
+    Engine.suspend (fun resume -> Queue.add { slot; resume } q)
+
+  let wake (q : 'a t) v =
+    match Queue.take_opt q with
+    | None -> false
+    | Some e ->
+        e.slot := Some v;
+        e.resume ();
+        true
+end
+
+(* One parker process reusing a single hoisted slot; a pooled timer as
+   the waker (closure-free re-arm), so the measured delta is the park
+   path itself. *)
+let waitq_cycles ~legacy ~cycles =
+  let eng = Engine.create () in
+  let finished = ref false in
+  let slot : int option ref = ref None in
+  let q_new : int Waitq.t = Waitq.create () in
+  let q_old : int Legacy_waitq.t = Legacy_waitq.create () in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to cycles do
+        if legacy then Legacy_waitq.park q_old slot else Waitq.park q_new slot;
+        slot := None
+      done;
+      finished := true);
+  let rec tick _ =
+    if not !finished then begin
+      if legacy then (if Legacy_waitq.length q_old > 0 then ignore (Legacy_waitq.wake q_old 1))
+      else if Waitq.length q_new > 0 then ignore (Waitq.wake q_new 1);
+      Engine.timer eng ~ns:100 tick 0
+    end
+  in
+  let w0 = Gc.minor_words () in
+  Engine.timer eng ~ns:100 tick 0;
+  Engine.run eng;
+  (Gc.minor_words () -. w0) /. float_of_int cycles
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: noisy-neighbor sweep                                        *)
+
+let mount_pt = "blk::/qos"
+
+let stack_spec =
+  {|
+mount: "blk::/qos"
+rules:
+  exec_mode: async
+dag:
+  - uuid: sched0
+    mod: blkswitch_sched
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+
+let polite_bytes = 16384 (* latency-class: at the bypass threshold *)
+
+let polite_wr_bytes = 32768 (* every 8th polite op: throughput-class *)
+
+let noisy_bytes = 20480 (* throughput-class: passes the DRR window *)
+
+let noisy_clients = 48 (* all sharing uid 999: one tenant, one budget *)
+
+let noisy_uid = 999
+
+(* Per-tenant think time scales with N so aggregate polite load stays
+   ~200 MB/s (10% of NVMe bandwidth) at every tenant count. *)
+let base_period = 81920.0
+
+type e2e_out = {
+  p50_us : float;
+  p99_us : float;
+  polite_failed : int;
+  throttled : int;
+  noisy_ops : int;
+  noisy_dispatched : int;
+  events : int;
+}
+
+let run_e2e ~seed ~n_tenants ~noisy ~total_ops =
+  let platform = Platform.boot ~nworkers:4 ~worker_max_inflight:32 ~seed () in
+  (match Platform.mount platform stack_spec with
+  | Ok _ -> ()
+  | Error e -> failwith ("exp_qos: mount: " ^ e));
+  let machine = Platform.machine platform in
+  let eng = machine.Machine.engine in
+  for i = 0 to n_tenants - 1 do
+    ignore (Platform.register_tenant platform ~uid:(2000 + i) ())
+  done;
+  if noisy then
+    ignore
+      (Platform.register_tenant platform ~uid:noisy_uid ~weight:1
+         ~rate_mbps:700.0 ~burst_kb:64 ~qcap:32 ());
+  (* At least one full 8-op cycle per tenant, so every tenant's stream
+     includes its bulk burst and the read p99 reflects it. *)
+  let ops_per = Stdlib.max 8 (total_ops / n_tenants) in
+  let period = base_period *. float_of_int n_tenants in
+  let lat = Stats.create () in
+  let failed = ref 0 in
+  let stop = ref false in
+  let noisy_done = ref 0 in
+  Platform.go platform (fun () ->
+      let finished = ref 0 in
+      Engine.suspend (fun resume ->
+          for i = 0 to n_tenants - 1 do
+            Engine.spawn eng (fun () ->
+                let c =
+                  Platform.client platform ~uid:(2000 + i) ~thread:(i mod 16) ()
+                in
+                (* Second connection for the tenant's bulk writes: a QP's
+                   completion queue is single-consumer, so the concurrent
+                   burst write may not share the reader's QP. Same uid —
+                   same tenant, same budgets. *)
+                let cw =
+                  Platform.client platform ~uid:(2000 + i) ~thread:(i mod 16) ()
+                in
+                (* Stagger arrivals across one period. *)
+                Engine.wait (float_of_int i *. base_period);
+                let lba0 = i * 16384 in
+                for k = 0 to ops_per - 1 do
+                  if k mod 8 = 7 then begin
+                    (* The tenant's own bulk traffic, issued concurrently
+                       with the next read (a qd-2 burst: think of a store
+                       flushing its log while serving a lookup). Windowed,
+                       so it passes DRR and shares the window by weight
+                       with every other bulk stream; not part of the
+                       latency-class SLO — but the read issued right
+                       behind it collides with its transfer, so the
+                       tenant's *alone* read p99 already carries one
+                       bulk-transfer residual. *)
+                    Engine.spawn eng (fun () ->
+                        match
+                          Runtime.Client.write_block cw ~mount:mount_pt
+                            ~lba:(lba0 + 8192 + (k * 8))
+                            ~bytes:polite_wr_bytes
+                        with
+                        | Ok _ -> ()
+                        | Error _ -> incr failed);
+                    Engine.wait 8000.0
+                  end;
+                  let t0 = Machine.now machine in
+                  (match
+                     Runtime.Client.read_block c ~mount:mount_pt
+                       ~lba:(lba0 + (k * 32))
+                       ~bytes:polite_bytes
+                   with
+                  | Ok _ -> Stats.add lat (Machine.now machine -. t0)
+                  | Error _ -> incr failed);
+                  Engine.wait (if k mod 8 = 7 then period -. 8000.0 else period)
+                done;
+                incr finished;
+                if !finished = n_tenants then begin
+                  stop := true;
+                  resume ()
+                end)
+          done;
+          if noisy then
+            for j = 0 to noisy_clients - 1 do
+              Engine.spawn eng (fun () ->
+                  let c =
+                    Platform.client platform ~uid:noisy_uid
+                      ~thread:(16 + (j mod 4))
+                      ()
+                  in
+                  let lba = ref (100_000_000 + (j * 1_000_000)) in
+                  while not !stop do
+                    (match
+                       Runtime.Client.write_block c ~mount:mount_pt ~lba:!lba
+                         ~bytes:noisy_bytes
+                     with
+                    | Ok _ -> incr noisy_done
+                    | Error _ -> () (* EAGAIN after backoff: keep pushing *));
+                    lba := !lba + 40
+                  done)
+            done));
+  let throttled, noisy_ops, noisy_dispatched =
+    if noisy then
+      match Platform.tenant_for platform ~uid:noisy_uid with
+      | Some tn ->
+          Ipc.Tenant.(throttled tn, ops_done tn, dispatched tn)
+      | None -> (0, 0, 0)
+    else (0, 0, 0)
+  in
+  {
+    p50_us = Stats.percentile lat 50.0 /. 1e3;
+    p99_us = Stats.percentile lat 99.0 /. 1e3;
+    polite_failed = !failed;
+    throttled;
+    noisy_ops;
+    noisy_dispatched;
+    events = Engine.events_executed eng;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let drr_widths = [ 8; 11; 10; 9 ]
+
+let e2e_widths = [ 8; 10; 11; 7; 9; 9; 9; 9 ]
+
+let run () =
+  let smoke = Bench_util.smoke () in
+  let native = Sys.backend_type = Sys.Native in
+  Bench_util.heading "qos"
+    "Multi-tenant QoS: O(1) DRR dispatch and noisy-neighbor isolation";
+
+  (* --- Part 1 --- *)
+  let drr_ops =
+    if Bench_util.wallclock_enabled () then 2_000_000
+    else if smoke then 20_000
+    else 100_000
+  in
+  Printf.printf
+    "  DRR dispatch: %d active of T registered tenants, %d-byte ops, %d \
+     steady-state ops\n"
+    drr_active drr_op_bytes drr_ops;
+  Bench_util.print_row drr_widths
+    [ "tenants"; "words/op"; "ns/op"; "fair" ];
+  let drr_tenant_counts = [ 16; 256; 4096 ] in
+  let drr =
+    List.map
+      (fun t ->
+        let o = drr_case ~ntenants:t ~ops:drr_ops in
+        Bench_util.print_row drr_widths
+          [
+            string_of_int t;
+            Printf.sprintf "%.4f" o.words_per_op;
+            (if o.ns_per_op > 0.0 then Printf.sprintf "%.1f" o.ns_per_op
+             else "-");
+            Printf.sprintf "%.3f" o.fairness;
+          ];
+        (t, o))
+      drr_tenant_counts
+  in
+  let drr_words t = (List.assoc t drr).words_per_op in
+  let alloc_ok =
+    (not native) || List.for_all (fun (_, o) -> o.words_per_op <= 2.0) drr
+  in
+  if not alloc_ok then begin
+    Bench_util.note
+      "ALLOCATION REGRESSION: DRR dispatch over 2.0 minor words/op (16:%.4f \
+       256:%.4f 4096:%.4f)"
+      (drr_words 16) (drr_words 256) (drr_words 4096);
+    exit 1
+  end;
+  let fairness_ratio = (List.assoc 16 drr).fairness in
+  if List.exists (fun (_, o) -> o.fairness > 1.25) drr then begin
+    Bench_util.note
+      "FAIRNESS REGRESSION: served bytes per unit weight spread over 1.25x \
+       among backlogged tenants";
+    exit 1
+  end;
+  if Bench_util.wallclock_enabled () then begin
+    let n16 = (List.assoc 16 drr).ns_per_op
+    and n4096 = (List.assoc 4096 drr).ns_per_op in
+    Bench_util.note "dispatch ns/op: 16 tenants %.1f, 4096 tenants %.1f (%.2fx)"
+      n16 n4096
+      (n4096 /. Stdlib.max 1e-9 n16);
+    if n16 > 0.0 && n4096 > 1.25 *. n16 then begin
+      Bench_util.note
+        "SCALING REGRESSION: dispatch at 4096 tenants over 1.25x its \
+         16-tenant cost";
+      exit 1
+    end
+  end;
+
+  (* --- Part 2 --- *)
+  let cycles = if smoke then 5_000 else 20_000 in
+  let wq_new = waitq_cycles ~legacy:false ~cycles in
+  let wq_old = waitq_cycles ~legacy:true ~cycles in
+  Bench_util.note
+    "waitq park/wake: %.2f minor words/cycle pooled, %.2f legacy \
+     (suspend-per-park), %d cycles"
+    wq_new wq_old cycles;
+  if native && wq_new >= wq_old then begin
+    Bench_util.note
+      "WAITQ REGRESSION: pooled park/wake no cheaper than the legacy path";
+    exit 1
+  end;
+
+  (* --- Part 3 --- *)
+  let total_ops = if smoke then 1024 else 4096 in
+  let seed = 0x0905 in
+  let tenant_counts = if smoke then [ 16; 256 ] else [ 16; 256; 4096 ] in
+  Printf.printf
+    "  noisy neighbor: N polite qd-1 tenants (16 KiB reads + every-8th-op 32 \
+     KiB write) vs %d\n\
+    \  clients on one capped tenant (20 KiB writes, 700 MB/s, qcap 32); %d \
+     polite ops per point,\n\
+    \  seed %#x; gated metric: p99 of the polite reads\n"
+    noisy_clients total_ops seed;
+  Bench_util.print_row e2e_widths
+    [
+      "tenants"; "alone-p99"; "attack-p99"; "ratio"; "thrott"; "noisy-op";
+      "dispatch"; "events";
+    ];
+  let e2e =
+    List.map
+      (fun n ->
+        let alone = run_e2e ~seed ~n_tenants:n ~noisy:false ~total_ops in
+        let attack = run_e2e ~seed ~n_tenants:n ~noisy:true ~total_ops in
+        let ratio = attack.p99_us /. Stdlib.max 1e-9 alone.p99_us in
+        Bench_util.print_row e2e_widths
+          [
+            string_of_int n;
+            Bench_util.f1 alone.p99_us;
+            Bench_util.f1 attack.p99_us;
+            Printf.sprintf "%.3f" ratio;
+            string_of_int attack.throttled;
+            string_of_int attack.noisy_ops;
+            string_of_int attack.noisy_dispatched;
+            string_of_int attack.events;
+          ];
+        if alone.polite_failed > 0 || attack.polite_failed > 0 then
+          Bench_util.note "WARNING: %d polite ops failed at N=%d"
+            (alone.polite_failed + attack.polite_failed)
+            n;
+        (n, alone, attack, ratio))
+      tenant_counts
+  in
+  let isolation_ok =
+    List.for_all
+      (fun (_, _, attack, ratio) ->
+        ratio <= 1.5 && attack.throttled > 0 && attack.noisy_dispatched > 0)
+      e2e
+  in
+  if not isolation_ok then begin
+    List.iter
+      (fun (n, _, attack, ratio) ->
+        if ratio > 1.5 then
+          Bench_util.note
+            "ISOLATION REGRESSION: N=%d polite p99 shifted %.3fx under attack \
+             (bound 1.5x)"
+            n ratio;
+        if attack.throttled = 0 then
+          Bench_util.note
+            "ISOLATION REGRESSION: N=%d noisy tenant was never throttled" n;
+        if attack.noisy_dispatched = 0 then
+          Bench_util.note
+            "ISOLATION REGRESSION: N=%d no noisy op passed the DRR window" n)
+      e2e;
+    exit 1
+  end;
+  (* Determinism: a same-seed rerun of the attacked point must match
+     exactly — latencies, throttle count and event sequence. *)
+  let _, _, attack16, _ = List.find (fun (n, _, _, _) -> n = 16) e2e in
+  let attack16' = run_e2e ~seed ~n_tenants:16 ~noisy:true ~total_ops in
+  let deterministic =
+    attack16.p99_us = attack16'.p99_us
+    && attack16.throttled = attack16'.throttled
+    && attack16.events = attack16'.events
+  in
+  if deterministic then
+    Bench_util.note "determinism: two attacked N=16 runs matched exactly"
+  else begin
+    Bench_util.note
+      "determinism VIOLATED: attacked N=16 runs differ (events %d/%d)"
+      attack16.events attack16'.events;
+    exit 1
+  end;
+
+  (* --- JSON (same key set in smoke and full runs) --- *)
+  let oc = open_out "BENCH_qos.json" in
+  Printf.fprintf oc
+    "{\"drr\": {\"words_per_op_16\": %.4f, \"words_per_op_256\": %.4f, \
+     \"words_per_op_4096\": %.4f, \"fairness_ratio\": %.4f, \"alloc_ok\": \
+     %d},\n"
+    (drr_words 16) (drr_words 256) (drr_words 4096) fairness_ratio
+    (if alloc_ok then 1 else 0);
+  Printf.fprintf oc
+    " \"waitq\": {\"words_per_cycle\": %.2f, \"legacy_words_per_cycle\": \
+     %.2f},\n"
+    wq_new wq_old;
+  List.iter
+    (fun (n, alone, attack, ratio) ->
+      if n <= 256 then
+        Printf.fprintf oc
+          " \"e2e_%d\": {\"alone_p99_us\": %.2f, \"attacked_p99_us\": %.2f, \
+           \"ratio\": %.4f, \"alone_p50_us\": %.2f, \"throttled\": %d, \
+           \"noisy_ops\": %d, \"events\": %d},\n"
+          n alone.p99_us attack.p99_us ratio alone.p50_us attack.throttled
+          attack.noisy_ops attack.events)
+    e2e;
+  Printf.fprintf oc " \"isolation_ok\": %d, \"deterministic\": %d}\n"
+    (if isolation_ok then 1 else 0)
+    (if deterministic then 1 else 0);
+  close_out oc;
+  Bench_util.note "wrote BENCH_qos.json"

@@ -41,6 +41,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "sim",
       "Simulator core: events/sec and allocation-free hot path",
       Exp_sim.run );
+    ( "qos",
+      "Multi-tenant QoS: O(1) DRR dispatch and noisy-neighbor isolation",
+      Exp_qos.run );
   ]
 
 let usage () =

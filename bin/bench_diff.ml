@@ -231,8 +231,10 @@ let () =
       | Some f ->
           let d = rel_diff b f in
           if d > threshold then
-            flag "REGRESS  %-40s baseline=%g fresh=%g (%+.1f%%)" path b f
-              (100.0 *. (f -. b) /. Float.max (Float.abs b) abs_guard))
+            flag "REGRESS  %-40s baseline=%g fresh=%g (%+.1f%%, allowed ±%.0f%%)"
+              path b f
+              (100.0 *. (f -. b) /. Float.max (Float.abs b) abs_guard)
+              (100.0 *. threshold))
     base;
   List.iter
     (fun (path, f) ->
@@ -241,9 +243,9 @@ let () =
     fresh;
   if !failures > 0 then begin
     Printf.printf
-      "bench_diff: %d metric(s) outside %.0f%% of %s — if intentional, \
+      "bench_diff: %d of %d metric(s) outside %.0f%% of %s — if intentional, \
        regenerate the baseline from a smoke run and commit it\n"
-      !failures (100.0 *. threshold) baseline_path;
+      !failures (List.length base) (100.0 *. threshold) baseline_path;
     exit 1
   end
   else

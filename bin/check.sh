@@ -54,6 +54,14 @@ dune exec bench/main.exe -- sim --smoke
 test -s BENCH_sim.json
 dune exec bin/bench_diff.exe -- bench/baselines/BENCH_sim.json BENCH_sim.json
 
+echo "== qos smoke (--smoke) =="
+# Asserts O(1)-in-tenant-count DRR dispatch on the 2-words/op budget,
+# weighted fairness, noisy-neighbor read-p99 isolation (<= 1.5x) and
+# same-seed determinism; exits nonzero on violation.
+dune exec bench/main.exe -- qos --smoke
+test -s BENCH_qos.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_qos.json BENCH_qos.json
+
 echo "== labstor_cli metrics smoke =="
 dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
 test -s out/metrics.jsonl
@@ -62,5 +70,8 @@ echo "== labstor_cli profile/top smoke =="
 dune exec bin/labstor_cli.exe -- profile --ops 200 --threads 2 > /dev/null
 test -s out/profile.json
 dune exec bin/labstor_cli.exe -- top --ops 200 --threads 2 > /dev/null
+
+echo "== labstor_cli qos smoke =="
+dune exec bin/labstor_cli.exe -- qos --tenants 4 --ops 50 --noisy > /dev/null
 
 echo "check: OK"

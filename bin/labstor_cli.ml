@@ -836,6 +836,119 @@ let mods_cmd =
   in
   Cmd.v (Cmd.info "mods" ~doc:"List the stock LabMod implementations") Term.(const run $ const ())
 
+(* ---------------- qos ---------------- *)
+
+(* Multi-tenant QoS demo: N metered tenants driving 16 KiB reads
+   (latency-class) share a blkswitch_sched stack with an optional
+   misbehaving tenant hammering 20 KiB writes through the DRR window
+   under a token-bucket cap. Prints the per-tenant QoS report the
+   runtime keeps: admission, dispatch class split, and latency. *)
+
+let qos_stack_spec =
+  {|
+mount: "blk::/qos"
+rules:
+  exec_mode: async
+dag:
+  - uuid: sched0
+    mod: blkswitch_sched
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+
+let qos_cmd =
+  let tenants = Arg.(value & opt int 8 & info [ "tenants" ] ~doc:"well-behaved tenants") in
+  let ops = Arg.(value & opt int 200 & info [ "ops" ] ~doc:"reads per tenant") in
+  let noisy = Arg.(value & flag & info [ "noisy" ] ~doc:"add a misbehaving bulk tenant (capped at 700 MB/s, qcap 32)") in
+  let rate = Arg.(value & opt float 700.0 & info [ "rate" ] ~doc:"noisy tenant's token-bucket rate (MB/s)") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let run tenants ops noisy rate seed =
+    let n = Stdlib.max 1 tenants in
+    let platform = Platform.boot ~nworkers:4 ~seed () in
+    (match Platform.mount platform qos_stack_spec with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "mount error: %s\n" e;
+        exit 1);
+    let machine = Platform.machine platform in
+    let eng = machine.Sim.Machine.engine in
+    for i = 0 to n - 1 do
+      ignore (Platform.register_tenant platform ~uid:(2000 + i) ())
+    done;
+    if noisy then
+      ignore
+        (Platform.register_tenant platform ~uid:999 ~rate_mbps:rate
+           ~burst_kb:64 ~qcap:32 ());
+    let stop = ref false in
+    Platform.go platform (fun () ->
+        let finished = ref 0 in
+        Sim.Engine.suspend (fun resume ->
+            for i = 0 to n - 1 do
+              Sim.Engine.spawn eng (fun () ->
+                  let c =
+                    Platform.client platform ~uid:(2000 + i) ~thread:(i mod 16) ()
+                  in
+                  Sim.Engine.wait (float_of_int i *. 10_000.0);
+                  for k = 0 to ops - 1 do
+                    ignore
+                      (Runtime.Client.read_block c ~mount:"blk::/qos"
+                         ~lba:((i * 16384) + (k * 32))
+                         ~bytes:16384);
+                    Sim.Engine.wait (10_000.0 *. float_of_int n)
+                  done;
+                  incr finished;
+                  if !finished = n then begin
+                    stop := true;
+                    resume ()
+                  end)
+            done;
+            if noisy then
+              for j = 0 to 31 do
+                Sim.Engine.spawn eng (fun () ->
+                    let c =
+                      Platform.client platform ~uid:999 ~thread:(16 + (j mod 4)) ()
+                    in
+                    let lba = ref (100_000_000 + (j * 1_000_000)) in
+                    while not !stop do
+                      ignore
+                        (Runtime.Client.write_block c ~mount:"blk::/qos"
+                           ~lba:!lba ~bytes:20480);
+                      lba := !lba + 40
+                    done)
+              done));
+    Printf.printf "QoS report after %.2f ms simulated (%d tenants%s):\n"
+      (Platform.now platform /. 1e6)
+      n
+      (if noisy then " + 1 noisy" else "");
+    let report uid label =
+      match Platform.tenant_for platform ~uid with
+      | None -> ()
+      | Some tn ->
+          let open Ipc.Tenant in
+          print_counter_row label
+            [
+              ("ops", ops_done tn);
+              ("KiB", bytes_done tn / 1024);
+              ("bypass", bypassed tn);
+              ("drr", dispatched tn);
+              ("throttled", throttled tn);
+            ]
+            ~suffix:
+              (Printf.sprintf ", p99=%.1fus"
+                 (Obs.Metrics.p99 (latency tn) /. 1e3))
+    in
+    for i = 0 to Stdlib.min (n - 1) 7 do
+      report (2000 + i) (Printf.sprintf "tenant %d" (2000 + i))
+    done;
+    if n > 8 then Printf.printf "  ... %d more well-behaved tenants\n" (n - 8);
+    if noisy then report 999 "noisy 999"
+  in
+  Cmd.v
+    (Cmd.info "qos"
+       ~doc:"Drive metered tenants through the DRR-scheduled stack and print the per-tenant QoS report")
+    Term.(const run $ tenants $ ops $ noisy $ rate $ seed)
+
 let () =
   let info =
     Cmd.info "labstor_cli" ~version:"1.0.0"
@@ -846,5 +959,5 @@ let () =
        (Cmd.group info
           [
             validate_cmd; run_cmd; faults_cmd; lvm_cmd; cache_cmd; metrics_cmd;
-            trace_cmd; profile_cmd; top_cmd; mods_cmd;
+            trace_cmd; profile_cmd; top_cmd; mods_cmd; qos_cmd;
           ]))

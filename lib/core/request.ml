@@ -61,6 +61,9 @@ type t = {
   mutable trace : Lab_obs.Trace.flow option;
       (** span-tracer context travelling with the request; [None] unless
           the request id is sampled (see Lab_obs.Trace) *)
+  mutable tenant : int;
+      (** dense QoS-tenant index ([-1] = no tenant): one array read for
+          the scheduler's per-tenant lookup instead of a Hashtbl probe *)
   mutable submitted_at : float;
 }
 
@@ -78,6 +81,7 @@ let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
     hint_stream = None;
     prefetch = false;
     trace = None;
+    tenant = -1;
     submitted_at = now;
   }
 
@@ -114,6 +118,7 @@ module Pool = struct
       r.hint_stream <- None;
       r.prefetch <- false;
       r.trace <- None;
+      r.tenant <- -1;
       r.submitted_at <- now;
       r
     end
@@ -125,6 +130,7 @@ module Pool = struct
     r.hint_hctx <- None;
     r.hint_stream <- None;
     r.trace <- None;
+    r.tenant <- -1;
     if p.size >= Array.length p.stack then begin
       let n = Stdlib.max 16 (2 * Array.length p.stack) in
       let stack = Array.make n r in
@@ -135,12 +141,13 @@ module Pool = struct
     p.size <- p.size + 1
 end
 
-let bytes_of t =
-  match t.payload with
+let payload_bytes = function
   | Posix (Pread { bytes; _ }) | Posix (Pwrite { bytes; _ }) -> bytes
   | Kv (Put { bytes; _ }) -> bytes
   | Block { b_bytes; _ } -> b_bytes
   | Posix _ | Kv _ | Control _ -> 0
+
+let bytes_of t = payload_bytes t.payload
 
 let block_of t = match t.payload with Block b -> Some b | _ -> None
 
@@ -181,11 +188,13 @@ let errno_of_result = function
 (* Failures worth retrying: media errors (EIO), torn writes (rewrite
    the data) and vanished devices (ENODEV — requeue elsewhere or fail
    over to a mirror leg; distinct from EIO so policy can tell retry
-   from fail-over). A blown deadline (ETIMEDOUT) is final — the time
-   budget is already spent. *)
+   from fail-over) — and admission-control pushback (EAGAIN: the
+   tenant's token bucket or queue cap refused the op; back off and
+   retry). A blown deadline (ETIMEDOUT) is final — the time budget is
+   already spent. *)
 let is_transient_failure r =
   match errno_of_result r with
-  | Some ("EIO" | "ENODEV" | "ETORN") -> true
+  | Some ("EIO" | "ENODEV" | "ETORN" | "EAGAIN") -> true
   | Some _ | None -> false
 
 (* A torn-write failure message carries "(<n> persisted)" — the byte

@@ -67,6 +67,10 @@ type t = {
           derived from another by record copy inherits the flow; a
           request synthesized with {!make} (merged op, journal flush)
           starts untraced. *)
+  mutable tenant : int;
+      (** dense QoS-tenant index stamped by the client at dispatch
+          ([-1] = no tenant): the scheduler's per-tenant lookup is one
+          array read, never a Hashtbl probe *)
   mutable submitted_at : float;
 }
 (** Fields are mutable to support {!Pool} recycling; everything except
@@ -86,6 +90,10 @@ val make :
 
 val bytes_of : t -> int
 (** Payload size in bytes (0 for metadata/control operations). *)
+
+val payload_bytes : payload -> int
+(** Same, directly on a payload — admission control needs the size
+    before any request record exists. *)
 
 (** Free-list recycling of request records, so steady-state clients
     reuse one record per outstanding slot instead of allocating a fresh

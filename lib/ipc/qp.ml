@@ -14,6 +14,10 @@ type 'a t = {
   qp_ordering : ordering;
   mutable qp_mark : mark;
   mutable bells : unit Waitq.t list;
+  (* Readiness listeners: fired on every doorbell ring and mark change,
+     synchronously, so a poller can maintain a per-QP readiness bitmap
+     instead of scanning idle queues. *)
+  mutable ready_fns : (unit -> unit) list;
   cq_waiters : unit Waitq.t;  (* consumers blocked on an empty CQ *)
   sq_space : unit Waitq.t;  (* producers blocked on a full SQ *)
   cq_space : unit Waitq.t;  (* completers blocked on a full CQ *)
@@ -36,6 +40,7 @@ let create ?metrics ?(sq_depth = 256) ?(cq_depth = 256) ~role ~ordering ~id () =
     qp_ordering = ordering;
     qp_mark = Normal;
     bells = [];
+    ready_fns = [];
     cq_waiters = Waitq.create ();
     sq_space = Waitq.create ();
     cq_space = Waitq.create ();
@@ -52,11 +57,25 @@ let ordering t = t.qp_ordering
 
 let mark t = t.qp_mark
 
-let set_mark t m = t.qp_mark <- m
+let notify_ready t = List.iter (fun f -> f ()) t.ready_fns
+
+let set_mark t m =
+  t.qp_mark <- m;
+  (* Mark transitions need the poller's attention (ack the pending
+     update, resume draining after one) even with no new submissions. *)
+  notify_ready t
 
 let ring_bell t =
   Lab_obs.Metrics.incr t.rings;
+  notify_ready t;
   List.iter (fun w -> ignore (Waitq.wake w ())) t.bells
+
+let add_ready_listener t f =
+  if not (List.exists (fun f' -> f' == f) t.ready_fns) then
+    t.ready_fns <- f :: t.ready_fns
+
+let remove_ready_listener t f =
+  t.ready_fns <- List.filter (fun f' -> not (f' == f)) t.ready_fns
 
 let doorbell_rings t = Lab_obs.Metrics.value t.rings
 

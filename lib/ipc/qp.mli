@@ -137,4 +137,12 @@ val remove_doorbell : 'a t -> unit Lab_sim.Waitq.t -> unit
 val doorbell : 'a t -> unit Lab_sim.Waitq.t option
 (** The first attached doorbell, if any. *)
 
+val add_ready_listener : 'a t -> (unit -> unit) -> unit
+(** Registers a callback fired synchronously on every doorbell ring and
+    every {!set_mark}, letting a poller keep a readiness bitmap over
+    thousands of queue pairs instead of scanning the idle ones.
+    Idempotent by physical equality, like {!add_doorbell}. *)
+
+val remove_ready_listener : 'a t -> (unit -> unit) -> unit
+
 val doorbells : 'a t -> unit Lab_sim.Waitq.t list

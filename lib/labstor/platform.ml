@@ -31,7 +31,8 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(workers_busy_poll = false) ?(worker_batch_size = 1)
     ?(worker_max_inflight = 16) ?fault_rates ?fault_script
     ?(trace_sample = 0) ?trace_path ?metrics_path
-    ?(profile_period = 0.0) ?profile_path ?lvm_rebuild_rate_mbps () =
+    ?(profile_period = 0.0) ?profile_path ?lvm_rebuild_rate_mbps
+    ?qos_quantum_kb ?qos_window_kb ?qos_bypass_kb () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
@@ -78,6 +79,24 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     match lvm_rebuild_rate_mbps with
     | None -> config
     | Some r -> { config with Lab_runtime.Runtime.lvm_rebuild_rate_mbps = r }
+  in
+  let opt_i field config v =
+    match v with None -> config | Some i -> field config i
+  in
+  let config =
+    opt_i
+      (fun c i -> { c with Lab_runtime.Runtime.qos_quantum_kb = i })
+      config qos_quantum_kb
+  in
+  let config =
+    opt_i
+      (fun c i -> { c with Lab_runtime.Runtime.qos_window_kb = i })
+      config qos_window_kb
+  in
+  let config =
+    opt_i
+      (fun c i -> { c with Lab_runtime.Runtime.qos_bypass_kb = i })
+      config qos_bypass_kb
   in
   let rt =
     Lab_runtime.Runtime.create m ~config
@@ -226,6 +245,12 @@ let mount_exn t text =
   match mount t text with
   | Ok s -> s
   | Error e -> invalid_arg ("Platform.mount_exn: " ^ e)
+
+let register_tenant t ~uid ?weight ?rate_mbps ?burst_kb ?qcap () =
+  Lab_runtime.Runtime.register_tenant t.rt ~ext_id:uid ?weight ?rate_mbps
+    ?burst_kb ?qcap ()
+
+let tenant_for t ~uid = Lab_runtime.Runtime.tenant_for t.rt ~uid
 
 let client t ?pid ?(uid = 1000) ?retry_policy ~thread () =
   let pid =

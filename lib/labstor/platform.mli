@@ -24,6 +24,9 @@ val boot :
   ?profile_period:float ->
   ?profile_path:string ->
   ?lvm_rebuild_rate_mbps:float ->
+  ?qos_quantum_kb:int ->
+  ?qos_window_kb:int ->
+  ?qos_bypass_kb:int ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
@@ -54,7 +57,13 @@ val boot :
     per-core busy fraction, worker utilization/in-flight, QP and device
     queue occupancy, and cache dirty backlog; [profile_path] is where
     {!export} writes the profile JSON (timeline + flamegraph + tail
-    attribution). Combine with [trace_sample] for the span half. *)
+    attribution). Combine with [trace_sample] for the span half.
+
+    [qos_quantum_kb] / [qos_window_kb] / [qos_bypass_kb] override the
+    multi-tenant QoS table's DRR quantum, dispatch window and
+    latency-class bypass threshold
+    ({!Lab_runtime.Runtime.config.qos_quantum_kb} etc.); the table is
+    inert until {!register_tenant} is called. *)
 
 val machine : t -> Lab_sim.Machine.t
 
@@ -85,6 +94,22 @@ val mount : t -> string -> (Lab_core.Stack.t, string) result
 
 val mount_exn : t -> string -> Lab_core.Stack.t
 
+val register_tenant :
+  t ->
+  uid:int ->
+  ?weight:int ->
+  ?rate_mbps:float ->
+  ?burst_kb:int ->
+  ?qcap:int ->
+  unit ->
+  Lab_ipc.Tenant.tenant
+(** Registers a QoS tenant keyed by client uid — see
+    {!Lab_runtime.Runtime.register_tenant}. Register before connecting
+    the tenant's clients: the uid-to-tenant lookup happens at
+    {!client} connect time. *)
+
+val tenant_for : t -> uid:int -> Lab_ipc.Tenant.tenant option
+
 val client :
   t ->
   ?pid:int ->
@@ -94,7 +119,10 @@ val client :
   unit ->
   Lab_runtime.Client.t
 (** Connects a client; must run inside a simulated process (e.g. within
-    {!go}). Fresh pids are assigned when omitted. *)
+    {!go}). Fresh pids are assigned when omitted. A uid registered via
+    {!register_tenant} makes the client a metered tenant: token-bucket
+    admission applies (refusals surface as retryable EAGAIN) and its
+    requests pass the scheduler's DRR dispatch stage. *)
 
 val go : t -> (unit -> 'a) -> 'a
 (** [go t f] runs [f] as a simulated process to completion and returns

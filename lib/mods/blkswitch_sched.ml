@@ -8,11 +8,22 @@
    [merge_window_ns] it holds the first request of a contiguous run
    open for that window, absorbs adjacent same-direction requests bound
    for the same hardware queue, and forwards one merged block op.
-   Completions (and torn-write errors) are split back per-request. *)
+   Completions (and torn-write errors) are split back per-request.
+
+   With a QoS table attached ({!factory}'s [?qos]), requests stamped
+   with a tenant index additionally pass the multi-tenant dispatch
+   stage before steering: latency-class requests (at most the table's
+   bypass threshold) go straight through, throughput-class requests
+   enter the weighted deficit-round-robin window
+   (see {!Lab_ipc.Tenant}), parking on a pooled
+   {!Lab_sim.Engine.park_cell} until dispatched. Per-op cost is O(1)
+   in registered tenants and allocation-free: a dense-array tenant
+   lookup, an intrusive active list, a ring slot, and an unpark. *)
 
 open Lab_sim
 open Lab_core
 module Metrics = Lab_obs.Metrics
+module Tenant = Lab_ipc.Tenant
 
 (* One request that joined an open batch behind its leader. [m_off] is
    its byte offset inside the merged transfer — the torn-write split
@@ -24,14 +35,46 @@ type member = {
 }
 
 (* An open batch accumulating followers while its leader sits out the
-   merge window. Members are kept in reverse arrival order. *)
+   merge window. Members are kept in reverse arrival order. Batches on
+   the same hardware queue form an intrusive doubly-linked ring
+   through [bt_prev]/[bt_next] around a per-queue sentinel, so opening
+   appends and closing unlinks in O(1) — the old [batch list ref] per
+   queue cost O(n) to append and O(n) to filter out, O(n^2) across a
+   burst of concurrent leaders. *)
 type batch = {
   bt_kind : Request.io_kind;
   mutable bt_end_lba : int;
   mutable bt_bytes : int;
   mutable bt_members : member list;
+  mutable bt_nmembers : int;
   mutable bt_open : bool;
+  mutable bt_prev : batch;
+  mutable bt_next : batch;
 }
+
+(* Pool of park cells for the DRR gate: acquire/release are array
+   stack ops, so a windowed op parks without allocating. *)
+type cell_pool = {
+  mutable cp : Engine.park_cell array;
+  mutable cn : int;
+}
+
+let cell_acquire p =
+  if p.cn = 0 then Engine.make_park_cell ()
+  else begin
+    p.cn <- p.cn - 1;
+    p.cp.(p.cn)
+  end
+
+let cell_release p c =
+  if p.cn >= Array.length p.cp then begin
+    let n = Stdlib.max 8 (2 * Array.length p.cp) in
+    let cp = Array.make n c in
+    Array.blit p.cp 0 cp 0 p.cn;
+    p.cp <- cp
+  end;
+  p.cp.(p.cn) <- c;
+  p.cn <- p.cn + 1
 
 type Labmod.state +=
   | State of {
@@ -39,10 +82,14 @@ type Labmod.state +=
       merge_window_ns : float;
       max_merge_bytes : int;
       max_merge_reqs : int;
-      open_batches : (int, batch list ref) Hashtbl.t;
-          (** per hardware queue, every batch currently holding its
-              merge window open — concurrent contiguous runs each plug
-              independently *)
+      open_batches : batch array;
+          (** per hardware queue, the sentinel of the ring of batches
+              currently holding their merge window open — concurrent
+              contiguous runs each plug independently *)
+      qos : Tenant.t option;
+          (** multi-tenant DRR dispatch stage; [None] = QoS off, the
+              classic path untouched *)
+      qcells : cell_pool;
       merged_ops : Metrics.counter;  (** merged device ops dispatched *)
       absorbed_reqs : Metrics.counter;
           (** follower requests absorbed into them *)
@@ -89,44 +136,38 @@ let member_result merged_result m =
    the original request untouched. *)
 let lead ctx ~open_batches ~merged_ops ~absorbed_reqs ~merge_window_ns ~q req b
     =
+  let s : batch = open_batches.(q) in
   let batch =
     {
       bt_kind = b.Request.b_kind;
       bt_end_lba = Request.block_end_lba b;
       bt_bytes = b.Request.b_bytes;
       bt_members = [];
+      bt_nmembers = 0;
       bt_open = true;
+      bt_prev = s.bt_prev;
+      bt_next = s;
     }
   in
-  let cell =
-    match Hashtbl.find_opt open_batches q with
-    | Some cell -> cell
-    | None ->
-        let cell = ref [] in
-        Hashtbl.replace open_batches q cell;
-        cell
-  in
-  cell := !cell @ [ batch ];
+  (* Link at the tail: arrival order, like the old append. *)
+  s.bt_prev.bt_next <- batch;
+  s.bt_prev <- batch;
   Engine.wait merge_window_ns;
   batch.bt_open <- false;
-  cell := List.filter (fun b' -> not (b' == batch)) !cell;
-  (match !cell with
-  | [] -> (
-      match Hashtbl.find_opt open_batches q with
-      | Some cell' when cell' == cell -> Hashtbl.remove open_batches q
-      | Some _ | None -> ())
-  | _ :: _ -> ());
+  batch.bt_prev.bt_next <- batch.bt_next;
+  batch.bt_next.bt_prev <- batch.bt_prev;
+  batch.bt_prev <- batch;
+  batch.bt_next <- batch;
   match List.rev batch.bt_members with
   | [] -> ctx.Labmod.forward req
   | followers ->
       Metrics.incr merged_ops;
-      Metrics.incr ~by:(List.length followers) absorbed_reqs;
+      Metrics.incr ~by:batch.bt_nmembers absorbed_reqs;
       (match req.Request.trace with
       | Some fl ->
           Lab_obs.Trace.instant fl ~name:"sched_merge" ~tid:ctx.Labmod.thread
             ~now:(Machine.now ctx.Labmod.machine)
-            ~args:
-              [ ("absorbed", string_of_int (List.length followers)) ]
+            ~args:[ ("absorbed", string_of_int batch.bt_nmembers) ]
       | None -> ());
       let merged =
         Request.make ~id:req.Request.id ~pid:req.Request.pid
@@ -153,6 +194,7 @@ let join batch b =
   let off = batch.bt_bytes in
   batch.bt_end_lba <- Request.block_end_lba b;
   batch.bt_bytes <- batch.bt_bytes + b.Request.b_bytes;
+  batch.bt_nmembers <- batch.bt_nmembers + 1;
   Mod_util.await_value (fun notify ->
       batch.bt_members <-
         { m_off = off; m_bytes = b.Request.b_bytes; m_notify = notify }
@@ -167,38 +209,68 @@ let operate m ctx req =
         max_merge_bytes;
         max_merge_reqs;
         open_batches;
+        qos;
+        qcells;
         merged_ops;
         absorbed_reqs;
       } ->
+      (* Multi-tenant dispatch gate, ahead of the decision cost: a
+         throughput-class op may only proceed while the DRR window has
+         room; its turn within the window is deficit-round-robin by
+         tenant weight. [-1] = not windowed (no tenant, QoS off, or
+         latency class) — those pay nothing here. *)
+      let gated_bytes =
+        match qos with
+        | Some table when req.Request.tenant >= 0 ->
+            let ib = Request.bytes_of req in
+            let tn = Tenant.get table req.Request.tenant in
+            if Tenant.windowed table ~bytes:ib then begin
+              let cell = cell_acquire qcells in
+              if not (Tenant.submit table tn ~bytes:ib cell) then
+                Engine.park cell;
+              cell_release qcells cell;
+              ib
+            end
+            else begin
+              Tenant.note_bypass tn;
+              -1
+            end
+        | _ -> -1
+      in
       Machine.compute ctx.Labmod.machine ~thread:ctx.Labmod.thread decision_cost_ns;
       let bytes = Stdlib.float_of_int (Request.bytes_of req) in
       (* Plug merge, before any steering: a batch that ends exactly at
          our LBA absorbs us on whatever queue it already holds —
          contiguity beats load balance. Requests carrying a degraded-
          mode requeue hint never join (they were steered away from an
-         offline queue on purpose). Ties (can't happen for distinct
-         end-LBAs, but be safe) break towards the lowest queue so runs
-         stay deterministic. *)
+         offline queue on purpose). The scan walks queues in ascending
+         order and each queue's batches in arrival order, so the first
+         hit is the lowest-queue earliest-opened candidate — the same
+         batch the old fold over the Hashtbl selected. *)
       let joinable b =
         if req.Request.hint_hctx <> None then None
-        else
-          Hashtbl.fold
-            (fun q cell acc ->
-              let found =
-                List.find_opt
-                  (fun batch ->
-                    batch.bt_open
-                    && batch.bt_kind = b.Request.b_kind
-                    && b.Request.b_lba = batch.bt_end_lba
-                    && batch.bt_bytes + b.Request.b_bytes <= max_merge_bytes
-                    && List.length batch.bt_members + 2 <= max_merge_reqs)
-                  !cell
-              in
-              match (found, acc) with
-              | None, _ -> acc
-              | Some _, Some (q', _) when q' <= q -> acc
-              | Some batch, _ -> Some (q, batch))
-            open_batches None
+        else begin
+          let n = Array.length open_batches in
+          let found = ref None in
+          let q = ref 0 in
+          while !found == None && !q < n do
+            let s = open_batches.(!q) in
+            let cur = ref s.bt_next in
+            while !found == None && !cur != s do
+              let batch = !cur in
+              if
+                batch.bt_open
+                && batch.bt_kind = b.Request.b_kind
+                && b.Request.b_lba = batch.bt_end_lba
+                && batch.bt_bytes + b.Request.b_bytes <= max_merge_bytes
+                && batch.bt_nmembers + 2 <= max_merge_reqs
+              then found := Some (!q, batch)
+              else cur := batch.bt_next
+            done;
+            incr q
+          done;
+          !found
+        end
       in
       let mergeable =
         if merge_window_ns > 0.0 then
@@ -209,6 +281,10 @@ let operate m ctx req =
       in
       let finish q result =
         inflight_bytes.(q) <- inflight_bytes.(q) -. bytes;
+        (if gated_bytes >= 0 then
+           match qos with
+           | Some table -> Tenant.release table ~bytes:gated_bytes
+           | None -> ());
         result
       in
       let steer () =
@@ -256,7 +332,7 @@ let absorbed_reqs (m : Labmod.t) =
   | State { absorbed_reqs; _ } -> Metrics.value absorbed_reqs
   | _ -> 0
 
-let factory ?metrics ~nqueues () : Registry.factory =
+let factory ?metrics ?qos ~nqueues () : Registry.factory =
  fun ~uuid ~attrs ->
   (* Probe instantiations (reserved "__probe__" uuid) must not pollute
      the registry. *)
@@ -267,6 +343,21 @@ let factory ?metrics ~nqueues () : Registry.factory =
   let geti key default =
     Option.value ~default (Option.bind (List.assoc_opt key attrs) Yamlite.get_int)
   in
+  let sentinel () =
+    let rec s =
+      {
+        bt_kind = Request.Read;
+        bt_end_lba = -1;
+        bt_bytes = 0;
+        bt_members = [];
+        bt_nmembers = 0;
+        bt_open = false;
+        bt_prev = s;
+        bt_next = s;
+      }
+    in
+    s
+  in
   Labmod.make ~name ~uuid ~mod_type:Labmod.Scheduler
     ~state:
       (State
@@ -275,7 +366,9 @@ let factory ?metrics ~nqueues () : Registry.factory =
            merge_window_ns = getf "merge_window_ns" 0.0;
            max_merge_bytes = geti "max_merge_bytes" 262144;
            max_merge_reqs = geti "max_merge_reqs" 64;
-           open_batches = Hashtbl.create 8;
+           open_batches = Array.init nqueues (fun _ -> sentinel ());
+           qos;
+           qcells = { cp = [||]; cn = 0 };
            merged_ops =
              Metrics.counter ?reg:metrics
                (Printf.sprintf "mod.%s.merged_ops" uuid);

@@ -13,7 +13,12 @@
     Factory attributes: [merge_window_ns] (float, default 0 = merging
     off — the classic single-request path), [max_merge_bytes] (int,
     default 262144, one full device command), [max_merge_reqs] (int,
-    default 64). *)
+    default 64).
+
+    With [?qos] a {!Lab_ipc.Tenant} table is attached: requests stamped
+    with a tenant index pass the weighted deficit-round-robin dispatch
+    stage before steering (latency-class requests bypass it). Per-op
+    cost is O(1) in registered tenants and allocation-free. *)
 
 open Lab_core
 
@@ -29,5 +34,11 @@ val merged_ops : Labmod.t -> int
 val absorbed_reqs : Labmod.t -> int
 (** Requests absorbed into merged ops as followers (excludes leaders). *)
 
-val factory : ?metrics:Lab_obs.Metrics.t -> nqueues:int -> unit -> Registry.factory
-(** [?metrics] registers the merge counters under ["mod.<uuid>."]. *)
+val factory :
+  ?metrics:Lab_obs.Metrics.t ->
+  ?qos:Lab_ipc.Tenant.t ->
+  nqueues:int ->
+  unit ->
+  Registry.factory
+(** [?metrics] registers the merge counters under ["mod.<uuid>."];
+    [?qos] attaches the multi-tenant DRR dispatch stage. *)

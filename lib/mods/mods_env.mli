@@ -15,6 +15,7 @@ val backend_of_device : Lab_sim.Machine.t -> Lab_device.Device.t -> backend
 val install :
   ?metrics:Lab_obs.Metrics.t ->
   ?timeseries:Lab_obs.Timeseries.t ->
+  ?qos:Lab_ipc.Tenant.t ->
   Registry.t ->
   machine:Lab_sim.Machine.t ->
   backends:(string * backend) list ->
@@ -27,6 +28,8 @@ val install :
     ["mod.<uuid>."]) in that registry.  [?timeseries] is threaded to
     the cache factories so each instance registers its
     ["mod.<uuid>.dirty_backlog"] probe with the profiling sampler.
+    [?qos] is threaded to the [blkswitch_sched] factory, attaching the
+    multi-tenant DRR dispatch stage to every instance it builds.
 
     Registers: [labfs], [labkvs], [lru_cache], [permissions],
     [compress], [noop_sched], [blkswitch_sched], [lab_lvm] (over all

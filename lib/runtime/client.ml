@@ -56,6 +56,12 @@ type t = {
      miss, crash, stale completion) are never released — the Runtime
      may still hold them, so they are left to the GC. *)
   pool : Request.Pool.t;
+  (* QoS tenant this client's uid maps to, resolved once at connect
+     time ([None] = unmetered). Every attempt passes token-bucket +
+     queue-cap admission (refusals surface as EAGAIN, which the retry
+     policy backs off on) and every request is stamped with the
+     tenant's dense index for the scheduler's DRR stage. *)
+  tenant : Tenant.tenant option;
 }
 
 let pid t = t.c_pid
@@ -99,6 +105,7 @@ let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10)
       };
     latency_hist = Metrics.histogram ~reg "client.latency_ns";
     pool = Request.Pool.create ();
+    tenant = Runtime.tenant_for runtime ~uid;
   }
 
 let retries t = Metrics.value t.counters.fc_retries
@@ -192,9 +199,32 @@ let recover t =
   run_state_repair t
 
 (* One dispatch of one attempt, transparently handling Runtime crashes
-   (resubmitting after repair) and exec-mode differences. *)
+   (resubmitting after repair) and exec-mode differences. A metered
+   client charges its tenant's token bucket and outstanding-op cap up
+   front — a refusal is an EAGAIN the retry policy backs off on — and
+   settles the admission (cap slot back, latency recorded) on every
+   exit, including before the crash-recovery resubmission, which is a
+   fresh attempt and must re-admit. *)
 let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
   apply_decentralized_upgrades t;
+  let tenant_bytes = Request.payload_bytes payload in
+  let t_attempt = Machine.now (machine t) in
+  match t.tenant with
+  | Some tn
+    when not
+           (Tenant.admit (Runtime.qos t.runtime) tn ~bytes:tenant_bytes
+              ~now:t_attempt) ->
+      Request.failed_errno "EAGAIN"
+        (Printf.sprintf "tenant %d admission refused" (Tenant.ext_id tn))
+  | tenant ->
+  let settle ~ok =
+    match tenant with
+    | Some tn ->
+        Tenant.complete (Runtime.qos t.runtime) tn ~bytes:tenant_bytes
+          ~latency_ns:(Machine.now (machine t) -. t_attempt)
+          ~ok
+    | None -> ()
+  in
   let req =
     Request.Pool.acquire t.pool
       ~id:(Runtime.next_request_id t.runtime)
@@ -204,6 +234,9 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
   in
   req.Request.hint_hctx <- hint;
   req.Request.hint_stream <- stream;
+  (match tenant with
+  | Some tn -> req.Request.tenant <- Tenant.idx tn
+  | None -> ());
   (* Trace context: present only when this request id is sampled, so
      with sampling off the whole path costs one option check. *)
   req.Request.trace <-
@@ -229,9 +262,11 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
       (* The DAG ran to completion in this thread, so nothing can still
          reference the request: recycle it. *)
       Request.Pool.release t.pool req;
+      settle ~ok:(Request.is_ok result);
       result
   | Stack_spec.Async ->
       if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
+        settle ~ok:false;
         recover t;
         dispatch_once t stack payload ~hint ~stream ~deadline_abs
       end
@@ -275,13 +310,16 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
             in
             (* Completion consumed: the Runtime is done with the record. *)
             Request.Pool.release t.pool done_req;
+            settle ~ok:(Request.is_ok result);
             result
         | Error `Deadline ->
+            settle ~ok:false;
             Metrics.incr t.counters.fc_deadline_misses;
             Request.failed_errno "ETIMEDOUT"
               (Printf.sprintf "request %d missed its %.0fns deadline"
                  req.Request.id t.policy.deadline_ns)
         | Error `Crashed ->
+            settle ~ok:false;
             recover t;
             dispatch_once t stack payload ~hint ~stream ~deadline_abs
       end
@@ -352,11 +390,20 @@ let do_request t (stack : Stack.t) ?stream payload =
 (* --- Batched submission (io_uring-style multi-submit) --- *)
 
 let make_request t (stack : Stack.t) payload =
-  Request.Pool.acquire t.pool
-    ~id:(Runtime.next_request_id t.runtime)
-    ~pid:t.c_pid ~uid:t.uid ~thread:t.c_thread ~stack_id:stack.Stack.id
-    ~now:(Machine.now (machine t))
-    payload
+  let req =
+    Request.Pool.acquire t.pool
+      ~id:(Runtime.next_request_id t.runtime)
+      ~pid:t.c_pid ~uid:t.uid ~thread:t.c_thread ~stack_id:stack.Stack.id
+      ~now:(Machine.now (machine t))
+      payload
+  in
+  (* Batched ops skip admission (the batch is one doorbell, not a
+     pacing point) but still carry the tenant stamp so the scheduler's
+     DRR stage meters them. *)
+  (match t.tenant with
+  | Some tn -> req.Request.tenant <- Tenant.idx tn
+  | None -> ());
+  req
 
 (* Push a whole batch into the stack's submission queue, ringing the
    worker's doorbell once. Per-entry enqueue work is still charged per

@@ -71,6 +71,13 @@ let of_yaml node =
         profile_path = gets "profile_path" d.Runtime.profile_path;
         lvm_rebuild_rate_mbps =
           getf "lvm_rebuild_rate_mbps" d.Runtime.lvm_rebuild_rate_mbps;
+        qos_quantum_kb = geti "qos_quantum_kb" d.Runtime.qos_quantum_kb;
+        qos_window_kb = geti "qos_window_kb" d.Runtime.qos_window_kb;
+        qos_bypass_kb = geti "qos_bypass_kb" d.Runtime.qos_bypass_kb;
+        tenant_weight = geti "tenant_weight" d.Runtime.tenant_weight;
+        tenant_rate_mbps = getf "tenant_rate_mbps" d.Runtime.tenant_rate_mbps;
+        tenant_burst_kb = geti "tenant_burst_kb" d.Runtime.tenant_burst_kb;
+        tenant_qcap = geti "tenant_qcap" d.Runtime.tenant_qcap;
       }
 
 let parse text =

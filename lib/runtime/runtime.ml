@@ -20,6 +20,17 @@ type config = {
   lvm_rebuild_rate_mbps : float;
       (* volume-manager resilver rate cap (MB/s); bounds how hard a
          background rebuild competes with foreground traffic *)
+  qos_quantum_kb : int;
+      (* DRR replenishment per visit per unit weight (KiB) *)
+  qos_window_kb : int;
+      (* outstanding throughput-class byte cap across all tenants (KiB) *)
+  qos_bypass_kb : int;
+      (* ops at or under this size are latency-class and skip the DRR
+         window (KiB; matches the device's urgent-transfer threshold) *)
+  tenant_weight : int;  (* default registration weight *)
+  tenant_rate_mbps : float;  (* default token-bucket rate; 0 = uncapped *)
+  tenant_burst_kb : int;  (* default token-bucket burst (KiB) *)
+  tenant_qcap : int;  (* default outstanding-op cap per tenant *)
 }
 
 let default_config =
@@ -38,6 +49,13 @@ let default_config =
     profile_period_ns = 0.0;
     profile_path = None;
     lvm_rebuild_rate_mbps = 400.0;
+    qos_quantum_kb = 64;
+    qos_window_kb = 128;
+    qos_bypass_kb = 16;
+    tenant_weight = 1;
+    tenant_rate_mbps = 0.0;
+    tenant_burst_kb = 256;
+    tenant_qcap = 64;
   }
 
 type qstat = {
@@ -64,6 +82,7 @@ type t = {
   metrics : Lab_obs.Metrics.t;
   service_hist : Lab_obs.Metrics.histogram;
   timeseries : Lab_obs.Timeseries.t option;
+  qos : Tenant.t;
 }
 
 let machine t = t.machine
@@ -85,6 +104,8 @@ let tracer t = t.tracer
 let metrics t = t.metrics
 
 let timeseries t = t.timeseries
+
+let qos t = t.qos
 
 let next_request_id t =
   t.req_counter <- t.req_counter + 1;
@@ -164,9 +185,21 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
       Some (Lab_obs.Timeseries.create ~period:config.profile_period_ns ())
     else None
   in
+  (* Multi-tenant QoS table: always built (it is inert until a tenant
+     registers — requests without a tenant stamp skip the dispatch
+     gate entirely), shared by the scheduler instances and the
+     client-side admission path. *)
+  let qos =
+    Tenant.create
+      ~quantum_bytes:(1024 * config.qos_quantum_kb)
+      ~window_bytes:(1024 * config.qos_window_kb)
+      ~bypass_bytes:(1024 * config.qos_bypass_kb)
+      ()
+  in
   Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
     ~nworkers:config.nworkers
-    ~lvm_rebuild_rate_mbps:config.lvm_rebuild_rate_mbps ~metrics ?timeseries;
+    ~lvm_rebuild_rate_mbps:config.lvm_rebuild_rate_mbps ~metrics ?timeseries
+    ~qos;
   let default =
     match List.assoc_opt default_backend backends with
     | Some b -> b
@@ -211,6 +244,7 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          metrics;
          service_hist = Lab_obs.Metrics.histogram ~reg:metrics "runtime.service_ns";
          timeseries;
+         qos;
        })
   in
   let t = Lazy.force t in
@@ -392,3 +426,37 @@ let restart t =
   Array.iter Worker.resume t.pool;
   Ipc_manager.set_online t.ipc_mgr true;
   rebalance_now t
+
+(* Tenant registration: config defaults apply unless overridden. Each
+   tenant gets read-through observability gauges (no state duplicated)
+   and, when the profiling sampler exists, timeline probes. *)
+let register_tenant t ~ext_id ?weight ?rate_mbps ?burst_kb ?qcap () =
+  let c = t.cfg in
+  let tn =
+    Tenant.register t.qos ~ext_id
+      ~weight:(Option.value weight ~default:c.tenant_weight)
+      ~rate_mbps:(Option.value rate_mbps ~default:c.tenant_rate_mbps)
+      ~burst_bytes:(1024 * Option.value burst_kb ~default:c.tenant_burst_kb)
+      ~qcap:(Option.value qcap ~default:c.tenant_qcap)
+  in
+  let name k = Printf.sprintf "tenant.%d.%s" ext_id k in
+  Lab_obs.Metrics.gauge_fn t.metrics (name "p99") (fun () ->
+      Lab_obs.Metrics.p99 (Tenant.latency tn));
+  Lab_obs.Metrics.gauge_fn t.metrics (name "throughput_bytes") (fun () ->
+      Stdlib.float_of_int (Tenant.bytes_done tn));
+  Lab_obs.Metrics.gauge_fn t.metrics (name "deficit") (fun () ->
+      Tenant.deficit tn);
+  Lab_obs.Metrics.gauge_fn t.metrics (name "throttled") (fun () ->
+      Stdlib.float_of_int (Tenant.throttled tn));
+  (match t.timeseries with
+  | Some ts ->
+      Lab_obs.Timeseries.add_series ts (name "deficit") (fun _now ->
+          Tenant.deficit tn);
+      Lab_obs.Timeseries.add_series ts (name "throttled") (fun _now ->
+          Stdlib.float_of_int (Tenant.throttled tn));
+      Lab_obs.Timeseries.add_series ts (name "queued") (fun _now ->
+          Stdlib.float_of_int (Tenant.queued tn))
+  | None -> ());
+  tn
+
+let tenant_for t ~uid = Tenant.find t.qos ~ext_id:uid

@@ -39,6 +39,23 @@ type config = {
           background mirror rebuild competes with foreground I/O
           (default 400, overridable per-instance via the stack's
           [rebuild_rate_mbps] attr) *)
+  qos_quantum_kb : int;
+      (** multi-tenant DRR replenishment per visit per unit weight
+          (KiB, default 64) — see {!Lab_ipc.Tenant} *)
+  qos_window_kb : int;
+      (** cap on outstanding throughput-class bytes across all tenants
+          (KiB, default 128) *)
+  qos_bypass_kb : int;
+      (** ops at or under this size are latency-class and bypass the
+          DRR window (KiB, default 16 — the device's urgent-transfer
+          threshold) *)
+  tenant_weight : int;  (** default {!register_tenant} weight (1) *)
+  tenant_rate_mbps : float;
+      (** default tenant token-bucket rate (0 = uncapped) *)
+  tenant_burst_kb : int;  (** default token-bucket burst (KiB, 256) *)
+  tenant_qcap : int;
+      (** default per-tenant outstanding-op cap (64); admission refuses
+          (EAGAIN) beyond it *)
 }
 
 val default_config : config
@@ -83,6 +100,28 @@ val timeseries : t -> Lab_obs.Timeseries.t option
     fraction, per-worker utilization and in-flight window occupancy,
     per-QP submission/completion queue depth, and per-cache-instance
     dirty-log depth; {!Platform} adds device queue occupancy. *)
+
+val qos : t -> Lab_ipc.Tenant.t
+(** The multi-tenant QoS table. Always present; inert (every request
+    skips the dispatch gate) until a tenant is registered. *)
+
+val register_tenant :
+  t ->
+  ext_id:int ->
+  ?weight:int ->
+  ?rate_mbps:float ->
+  ?burst_kb:int ->
+  ?qcap:int ->
+  unit ->
+  Lab_ipc.Tenant.tenant
+(** Registers a QoS tenant keyed by client uid (config defaults fill
+    omitted parameters) and installs its read-through gauges
+    ([tenant.<id>.p99], [.throughput_bytes], [.deficit], [.throttled])
+    plus, when profiling is on, timeline probes. Clients connecting
+    with that uid are admission-controlled and their ops stamped with
+    the tenant's dense index. *)
+
+val tenant_for : t -> uid:int -> Lab_ipc.Tenant.tenant option
 
 val start : t -> unit
 

@@ -9,6 +9,16 @@ type t = {
   machine : Machine.t;
   bell : unit Waitq.t;
   mutable assigned : Request.t Qp.t list;
+  (* Readiness bitmap over [qarr] (= [assigned] as an array, same
+     order): bit i set means queue i may need attention — a doorbell
+     rang or its mark changed since we last looked. The sweep iterates
+     set bits via de Bruijn ctz instead of scanning every queue, so
+     thousands of mostly-idle QPs cost the same as a handful; the
+     per-queue listeners (one closure each, allocated at [assign] time
+     only) keep the bitmap current. *)
+  mutable qarr : Request.t Qp.t array;
+  mutable listeners : (unit -> unit) array;
+  ready : Bitset.t;
   mutable running : bool;
   mutable is_parked : bool;
   mutable awake_since : float;
@@ -43,6 +53,9 @@ let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     machine;
     bell = Waitq.create ();
     assigned = [];
+    qarr = [||];
+    listeners = [||];
+    ready = Bitset.create 0;
     running = true;
     is_parked = false;
     awake_since = 0.0;
@@ -71,11 +84,30 @@ let doorbell t = t.bell
 let wake t = ignore (Waitq.wake_all t.bell ())
 
 let assign t qps =
-  (* Detach our doorbell from queues we lose; attach to those we gain.
-     Unordered queues can be shared by several workers, so only our own
-     bell is touched. *)
+  (* Detach our doorbell and readiness listener from queues we lose;
+     attach to those we gain. Unordered queues can be shared by several
+     workers, so only our own bell/listeners are touched. *)
   List.iter (fun qp -> Qp.remove_doorbell qp t.bell) t.assigned;
+  Array.iteri
+    (fun i qp -> Qp.remove_ready_listener qp t.listeners.(i))
+    t.qarr;
   t.assigned <- qps;
+  t.qarr <- Array.of_list qps;
+  let n = Array.length t.qarr in
+  t.listeners <-
+    Array.init n (fun i ->
+        let f () = Bitset.set t.ready i in
+        f);
+  Bitset.resize t.ready n;
+  Bitset.clear_all t.ready;
+  Array.iteri
+    (fun i qp ->
+      Qp.add_ready_listener qp t.listeners.(i);
+      (* Seed readiness: anything already queued or mid-upgrade must be
+         visited without waiting for a fresh doorbell. *)
+      if Qp.sq_depth qp > 0 || Qp.mark qp = Qp.Update_pending then
+        Bitset.set t.ready i)
+    t.qarr;
   List.iter (fun qp -> Qp.add_doorbell qp t.bell) qps;
   wake t
 
@@ -159,42 +191,58 @@ let process t qp req ~pull_ns =
       (* The worker may have parked on a full window; nudge it. *)
       wake t)
 
-(* One pass over the assigned queues: up to [batch_size] requests are
+(* One pass over the *ready* queues: up to [batch_size] requests are
    drained per queue per pass, so one cross-core pull covers the whole
    run of adjacent ring slots (the head pays the full transfer, the
    rest the configured fraction). Fairness is round-robin between
    queues — a pass never drains one queue dry before visiting the
-   next. Returns whether any request was dispatched. Upgrade marks are
-   acknowledged here (marked queues are not drained until the Module
-   Manager unmarks them). *)
+   next. The bitmap iteration reads live bits in ascending index
+   order, exactly the order the old linear scan visited the queue
+   list, and a queue whose bit is clear is one the scan would have
+   polled emptily — so skipping it is behaviourally identical, just
+   O(ready) instead of O(assigned). A visited queue's bit is cleared
+   first and re-set when it still needs attention (budget exhausted,
+   leftover ring entries, unacknowledgeable upgrade mark), which lands
+   it in the next pass like the old per-pass revisit did. Returns
+   whether any request was dispatched. Upgrade marks are acknowledged
+   here (marked queues are not drained until the Module Manager
+   unmarks them). *)
 let sweep t =
   let progress = ref false in
-  List.iter
-    (fun qp ->
-      match Qp.mark qp with
-      | Qp.Update_pending ->
-          (* Only acknowledge once our in-flight requests retire. *)
-          if t.inflight = 0 then Qp.set_mark qp Qp.Update_acked
-      | Qp.Update_acked -> ()
-      | Qp.Normal ->
-          let budget = Stdlib.min t.batch_size (t.max_inflight - t.inflight) in
-          if budget > 0 then begin
-            let got = Qp.poll_sq_into qp t.scratch budget in
-            if got > 0 then begin
-              progress := true;
-              let c = costs t in
-              for i = 0 to got - 1 do
-                let req = t.scratch.(i) in
-                t.scratch.(i) <- t.scratch_dummy;
-                let pull_ns =
-                  if i = 0 then c.Costs.shmem_cross_core_ns
-                  else c.Costs.shmem_cross_core_ns *. c.Costs.shmem_batch_frac
-                in
-                process t qp req ~pull_ns
-              done
-            end
-          end)
-    t.assigned;
+  let i = ref (Bitset.next_set t.ready 0) in
+  while !i >= 0 do
+    let idx = !i in
+    Bitset.clear t.ready idx;
+    let qp = Array.unsafe_get t.qarr idx in
+    (match Qp.mark qp with
+    | Qp.Update_pending ->
+        (* Only acknowledge once our in-flight requests retire. (The
+           ack's own mark change re-sets our bit; the follow-up visit
+           sees Update_acked and goes back to sleep.) *)
+        if t.inflight = 0 then Qp.set_mark qp Qp.Update_acked
+        else Bitset.set t.ready idx
+    | Qp.Update_acked -> ()
+    | Qp.Normal ->
+        let budget = Stdlib.min t.batch_size (t.max_inflight - t.inflight) in
+        if budget > 0 then begin
+          let got = Qp.poll_sq_into qp t.scratch budget in
+          if got > 0 then begin
+            progress := true;
+            let c = costs t in
+            for i = 0 to got - 1 do
+              let req = t.scratch.(i) in
+              t.scratch.(i) <- t.scratch_dummy;
+              let pull_ns =
+                if i = 0 then c.Costs.shmem_cross_core_ns
+                else c.Costs.shmem_cross_core_ns *. c.Costs.shmem_batch_frac
+              in
+              process t qp req ~pull_ns
+            done
+          end
+        end;
+        if Qp.sq_depth qp > 0 then Bitset.set t.ready idx);
+    i := Bitset.next_set t.ready (idx + 1)
+  done;
   !progress
 
 let park t =

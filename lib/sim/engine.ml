@@ -44,9 +44,19 @@ type t = {
   mutable eff_handler : (unit, unit) Effect.Deep.handler;
   mutable wait_some : ((unit, unit) Effect.Deep.continuation -> unit) option;
   mutable susp_some : ((unit, unit) Effect.Deep.continuation -> unit) option;
+  mutable park_some : ((unit, unit) Effect.Deep.continuation -> unit) option;
   mutable pending_register : resumer -> unit;
+  mutable park_into : park_cell;
   mutable self_some : t option;
 }
+
+(* A reusable parking spot: the suspended continuation is stored
+   directly in the cell, so park/unpark needs no per-use closure, ref
+   cell, or queue node — only the continuation the runtime itself
+   allocates at the perform. [peng] caches the owning engine (written
+   once per cell in steady state) so {!unpark} works from outside any
+   process, like a {!resumer} does. *)
+and park_cell = { mutable pk : Obj.t; mutable peng : t option }
 
 exception Stopped
 
@@ -57,6 +67,7 @@ exception Stopped
    no owner field is needed to route the effect. *)
 type _ Effect.t += Wait : unit Effect.t
 type _ Effect.t += Suspend : unit Effect.t
+type _ Effect.t += Park : unit Effect.t
 
 (* The engine a process belongs to, used so [wait]/[suspend] need no
    explicit engine argument. Set for the dynamic extent of [run]/[step]
@@ -65,6 +76,10 @@ type _ Effect.t += Suspend : unit Effect.t
 let current_engine : t option ref = ref None
 
 let dummy_pay : Obj.t = Obj.repr ()
+
+let dummy_cell : park_cell = { pk = dummy_pay; peng = None }
+
+let make_park_cell () = { pk = dummy_pay; peng = None }
 
 let dummy_handler : (unit, unit) Effect.Deep.handler =
   {
@@ -119,7 +134,9 @@ let create () =
       eff_handler = dummy_handler;
       wait_some = None;
       susp_some = None;
+      park_some = None;
       pending_register = (fun _ -> ());
+      park_into = dummy_cell;
       self_some = None;
     }
   in
@@ -161,11 +178,21 @@ let create () =
           end
         in
         register resume);
+  (* Handle Park: stash the continuation in the caller-supplied cell.
+     Pure field traffic — no event, no closure, no allocation beyond
+     the continuation itself. *)
+  t.park_some <-
+    Some
+      (fun k ->
+        let c = t.park_into in
+        t.park_into <- dummy_cell;
+        c.pk <- Obj.repr k);
   let effc : type a.
       a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
     function
     | Wait -> t.wait_some
     | Suspend -> t.susp_some
+    | Park -> t.park_some
     | _ -> None
   in
   t.eff_handler <- { Effect.Deep.retc = (fun () -> ()); exnc = raise; effc };
@@ -231,6 +258,33 @@ let suspend register =
   let t = engine_of_process () in
   t.pending_register <- register;
   Effect.perform Suspend
+
+let park cell =
+  let t = engine_of_process () in
+  (match cell.peng with
+  | Some e when e == t -> ()
+  | _ -> cell.peng <- Some t);
+  t.park_into <- cell;
+  Effect.perform Park
+
+(* One-shot like a resumer: the first unpark schedules the parked
+   continuation at the owning engine's current time; later calls (or
+   calls on an empty cell) are no-ops. *)
+let unpark cell =
+  if cell.pk != dummy_pay then
+    match cell.peng with
+    | None -> ()
+    | Some t ->
+        let k = cell.pk in
+        cell.pk <- dummy_pay;
+        let slot = alloc_slot t in
+        t.tags.(slot) <- 2;
+        t.pays.(slot) <- k;
+        t.seq <- t.seq + 1;
+        t.evq.Evq.key_in.(0) <- t.fl.(0);
+        Evq.push t.evq ~seq:t.seq ~slot
+
+let parked cell = cell.pk != dummy_pay
 
 (* ---------------- ticks ---------------- *)
 

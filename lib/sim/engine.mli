@@ -57,6 +57,29 @@ val suspend : (resumer -> unit) -> unit
     {!resumer} to [register]. The process continues when the resumer is
     invoked. *)
 
+type park_cell
+(** A reusable parking spot. Unlike {!suspend} — whose first-class
+    resumer costs a closure, a fired flag, and a register callback per
+    use — a park cell stores the suspended continuation in place, so a
+    pooled cell makes repeated park/unpark cycles free of everything
+    but the continuation the effect runtime itself allocates. *)
+
+val make_park_cell : unit -> park_cell
+
+val park : park_cell -> unit
+(** [park cell] suspends the calling process into [cell]. The cell must
+    be empty (one process per cell at a time); the process continues
+    when {!unpark} is called. Must be called from within a process. *)
+
+val unpark : park_cell -> unit
+(** Schedules the process parked in [cell] to continue at its engine's
+    current virtual time, exactly as invoking a {!resumer} would.
+    One-shot per park: an empty cell is a no-op. May be called from
+    inside or outside a process. *)
+
+val parked : park_cell -> bool
+(** True while a process is parked in the cell. *)
+
 val run : ?until:float -> t -> unit
 (** Executes events until the queue drains or virtual time would exceed
     [until]. Processes still suspended when the queue drains simply never

@@ -1,26 +1,73 @@
-type 'a entry = { slot : 'a option ref; resume : Engine.resumer }
+(* Pooled, intrusive FIFO of parked processes.
 
-type 'a t = 'a entry Queue.t
+   Entries are pooled per queue and linked through their own [next]
+   field (the queue's [nil] sentinel terminates both the FIFO and the
+   free list), and each entry embeds an {!Engine.park_cell}, so a
+   steady-state park/wake cycle allocates nothing beyond the effect
+   continuation and the [Some v] wake value — the old implementation
+   additionally paid a register closure, a fired flag, a resume
+   closure, an entry record, and a [Queue] cell per cycle. *)
 
-let create () = Queue.create ()
+type 'a entry = {
+  cell : Engine.park_cell;
+  mutable eslot : 'a option ref;
+  mutable next : 'a entry;  (* FIFO / free-list link; nil terminates *)
+}
 
-let is_empty = Queue.is_empty
+type 'a t = {
+  nil : 'a entry;  (* sentinel: list terminator, never parked *)
+  mutable head : 'a entry;
+  mutable tail : 'a entry;
+  mutable free : 'a entry;
+  mutable len : int;
+}
 
-let length = Queue.length
+let create () =
+  let c = Engine.make_park_cell () in
+  let s = ref None in
+  let rec nil = { cell = c; eslot = s; next = nil } in
+  { nil; head = nil; tail = nil; free = nil; len = 0 }
+
+let is_empty q = q.len = 0
+
+let length q = q.len
 
 let park q slot =
-  Engine.suspend (fun resume -> Queue.add { slot; resume } q)
+  let nil = q.nil in
+  let e =
+    if q.free != nil then begin
+      let e = q.free in
+      q.free <- e.next;
+      e.next <- nil;
+      e.eslot <- slot;
+      e
+    end
+    else { cell = Engine.make_park_cell (); eslot = slot; next = nil }
+  in
+  if q.head == nil then q.head <- e else q.tail.next <- e;
+  q.tail <- e;
+  q.len <- q.len + 1;
+  Engine.park e.cell
 
 let wake q v =
-  match Queue.take_opt q with
-  | None -> false
-  | Some e ->
-      e.slot := Some v;
-      e.resume ();
-      true
+  let nil = q.nil in
+  if q.head == nil then false
+  else begin
+    let e = q.head in
+    q.head <- e.next;
+    if q.head == nil then q.tail <- nil;
+    q.len <- q.len - 1;
+    e.eslot := Some v;
+    Engine.unpark e.cell;
+    (* The woken process never touches its entry again, so it can go
+       straight back on the free list. *)
+    e.next <- q.free;
+    q.free <- e;
+    true
+  end
 
 let wake_all q v =
-  let n = Queue.length q in
+  let n = q.len in
   for _ = 1 to n do
     ignore (wake q v)
   done;
