@@ -44,6 +44,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "qos",
       "Multi-tenant QoS: O(1) DRR dispatch and noisy-neighbor isolation",
       Exp_qos.run );
+    ( "load",
+      "Open-loop offered-rate sweep: CO-safe throughput-vs-p99 knee curves",
+      Exp_load.run );
   ]
 
 let usage () =

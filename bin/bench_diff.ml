@@ -12,6 +12,19 @@
    comparison is exact; the threshold only absorbs intentional small
    retunings.
 
+   Two refinements for curve-shaped artifacts:
+
+   - A baseline key "<name>_band" (a scalar fraction) widens the
+     per-leaf threshold for "<name>" and its array points "<name>[i]"
+     to max(THRESHOLD, band). Band keys are gate configuration, not
+     metrics: they are never themselves compared or reported NEW.
+
+   - Arrays named "*_curve" must preserve the baseline's monotone
+     direction: if the baseline curve is non-decreasing
+     (resp. non-increasing), the fresh one must be too, within the
+     curve's per-point tolerance. A knee curve that starts regressing
+     mid-sweep trips the gate even if every point is inside its band.
+
    Exit 0 = within threshold; 1 = regression; 2 = usage/parse error. *)
 
 (* ---------------- minimal JSON ---------------- *)
@@ -178,6 +191,36 @@ let flatten (j : json) : (string * float) list =
   go "" j;
   List.rev !out
 
+(* Curves: arrays of numbers whose key ends in "_curve", keyed by the
+   same dotted path flatten gives their elements (minus the [i]). *)
+let curves (j : json) : (string * float list) list =
+  let out = ref [] in
+  let num_of = function Num f -> Some f | Bool b -> Some (if b then 1.0 else 0.0) | _ -> None in
+  let rec go path = function
+    | Null | Bool _ | Num _ | Str _ -> ()
+    | Arr l ->
+        (match
+           if String.length path >= 6 && Filename.check_suffix path "_curve"
+           then
+             List.fold_left
+               (fun acc v ->
+                 match (acc, num_of v) with
+                 | Some xs, Some f -> Some (f :: xs)
+                 | _ -> None)
+               (Some []) l
+           else None
+         with
+        | Some xs -> out := (path, List.rev xs) :: !out
+        | None ->
+            List.iteri (fun i v -> go (Printf.sprintf "%s[%d]" path i) v) l)
+    | Obj members ->
+        List.iter
+          (fun (k, v) -> go (if path = "" then k else path ^ "." ^ k) v)
+          members
+  in
+  go "" j;
+  List.rev !out
+
 (* ---------------- compare ---------------- *)
 
 (* Relative difference with a small absolute guard: metrics that hover
@@ -216,31 +259,103 @@ let () =
         (fun () -> really_input_string ic (in_channel_length ic))
     in
     match parse text with
-    | j -> flatten j
+    | j -> j
     | exception Parse_error m ->
         Printf.eprintf "bench_diff: %s: %s\n" path m;
         exit 2
   in
-  let base = read baseline_path and fresh = read fresh_path in
+  let base_json = read baseline_path and fresh_json = read fresh_path in
+  let base = flatten base_json and fresh = flatten fresh_json in
+  (* "<name>_band" keys in the BASELINE are per-metric tolerance
+     overrides for "<name>" (and its points "<name>[i]"), not metrics. *)
+  let is_band path = Filename.check_suffix path "_band" in
+  let bands =
+    List.filter_map
+      (fun (path, v) ->
+        if is_band path then
+          Some (String.sub path 0 (String.length path - 5), v)
+        else None)
+      base
+  in
+  let leaf_threshold path =
+    let covered (prefix, band) =
+      if path = prefix || String.starts_with ~prefix:(prefix ^ "[") path then
+        Some band
+      else None
+    in
+    match List.find_map covered bands with
+    | Some band -> Float.max threshold band
+    | None -> threshold
+  in
   let failures = ref 0 in
   let flag fmt = Printf.ksprintf (fun m -> incr failures; print_endline m) fmt in
   List.iter
     (fun (path, b) ->
-      match List.assoc_opt path fresh with
-      | None -> flag "MISSING  %-40s baseline=%g (absent in fresh)" path b
-      | Some f ->
-          let d = rel_diff b f in
-          if d > threshold then
-            flag "REGRESS  %-40s baseline=%g fresh=%g (%+.1f%%, allowed ±%.0f%%)"
-              path b f
-              (100.0 *. (f -. b) /. Float.max (Float.abs b) abs_guard)
-              (100.0 *. threshold))
+      if not (is_band path) then
+        match List.assoc_opt path fresh with
+        | None -> flag "MISSING  %-40s baseline=%g (absent in fresh)" path b
+        | Some f ->
+            let t = leaf_threshold path in
+            let d = rel_diff b f in
+            if d > t then
+              flag
+                "REGRESS  %-40s baseline=%g fresh=%g (%+.1f%%, allowed ±%.0f%%)"
+                path b f
+                (100.0 *. (f -. b) /. Float.max (Float.abs b) abs_guard)
+                (100.0 *. t))
     base;
   List.iter
     (fun (path, f) ->
-      if List.assoc_opt path base = None then
+      if (not (is_band path)) && List.assoc_opt path base = None then
         flag "NEW      %-40s fresh=%g (absent in baseline)" path f)
     fresh;
+  (* Monotone-direction preservation for "*_curve" arrays: the fresh
+     curve must keep the direction the baseline establishes, each step
+     within the curve's per-point tolerance. *)
+  let directions l =
+    let up = ref true and down = ref true in
+    List.iteri
+      (fun i x ->
+        if i > 0 then begin
+          let prev = List.nth l (i - 1) in
+          if x < prev then up := false;
+          if x > prev then down := false
+        end)
+      l;
+    (!up, !down)
+  in
+  let monotone_within slack cmp l =
+    let ok = ref true in
+    List.iteri
+      (fun i x ->
+        if i > 0 then
+          let prev = List.nth l (i - 1) in
+          let tol = slack *. Float.max (Float.abs prev) abs_guard in
+          if not (cmp x prev tol) then ok := false)
+      l;
+    !ok
+  in
+  let non_decr slack l = monotone_within slack (fun x p tol -> x >= p -. tol) l in
+  let non_incr slack l = monotone_within slack (fun x p tol -> x <= p +. tol) l in
+  let fresh_curves = curves fresh_json in
+  List.iter
+    (fun (path, bl) ->
+      match List.assoc_opt path fresh_curves with
+      | None -> () (* absence already reported leaf-by-leaf *)
+      | Some fl ->
+          let slack = leaf_threshold path in
+          let up, down = directions bl in
+          if up && not down && not (non_decr slack fl) then
+            flag "MONOTONE %-40s baseline non-decreasing, fresh regresses \
+                  mid-curve" path
+          else if down && not up && not (non_incr slack fl) then
+            flag "MONOTONE %-40s baseline non-increasing, fresh rises \
+                  mid-curve" path
+          else if up && down && not (non_decr slack fl || non_incr slack fl)
+          then
+            flag "MONOTONE %-40s baseline constant, fresh is non-monotone"
+              path)
+    (curves base_json);
   if !failures > 0 then begin
     Printf.printf
       "bench_diff: %d of %d metric(s) outside %.0f%% of %s — if intentional, \

@@ -62,6 +62,16 @@ dune exec bench/main.exe -- qos --smoke
 test -s BENCH_qos.json
 dune exec bin/bench_diff.exe -- bench/baselines/BENCH_qos.json BENCH_qos.json
 
+echo "== load smoke (--smoke) =="
+# Asserts CO-corrected p99 agrees with naive within 10% below the knee
+# and diverges >= 5x past saturation, monotone achieved throughput,
+# and same-seed determinism; exits nonzero on violation. The curve
+# arrays in BENCH_load.json are gated per-point (with *_band widening)
+# and for monotone-direction preservation by bench_diff.
+dune exec bench/main.exe -- load --smoke
+test -s BENCH_load.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_load.json BENCH_load.json
+
 echo "== labstor_cli metrics smoke =="
 dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
 test -s out/metrics.jsonl
@@ -73,5 +83,8 @@ dune exec bin/labstor_cli.exe -- top --ops 200 --threads 2 > /dev/null
 
 echo "== labstor_cli qos smoke =="
 dune exec bin/labstor_cli.exe -- qos --tenants 4 --ops 50 --noisy > /dev/null
+
+echo "== labstor_cli load smoke =="
+dune exec bin/labstor_cli.exe -- load --rate 100 --total 500 --slo-p99 100 > /dev/null
 
 echo "check: OK"

@@ -949,6 +949,131 @@ let qos_cmd =
        ~doc:"Drive metered tenants through the DRR-scheduled stack and print the per-tenant QoS report")
     Term.(const run $ tenants $ ops $ noisy $ rate $ seed)
 
+(* ---------------- load ---------------- *)
+
+(* Open-loop traffic report: fire a deterministic arrival process at
+   the stack from Engine timers (offered load independent of completion
+   rate) and print offered vs achieved rate, injection lag, and the
+   CO-corrected vs naive latency percentiles side by side. Past the
+   saturation knee the two columns diverge — that gap is the latency a
+   closed-loop benchmark silently hides. *)
+
+let load_stack_spec =
+  {|
+mount: "blk::/load"
+rules:
+  exec_mode: async
+dag:
+  - uuid: sched0
+    mod: blkswitch_sched
+    outputs: [drv0]
+  - uuid: drv0
+    mod: kernel_driver
+|}
+
+let load_cmd =
+  let rate = Arg.(value & opt float 100.0 & info [ "rate" ] ~doc:"offered arrival rate (kops/s)") in
+  let total = Arg.(value & opt int 2000 & info [ "total" ] ~doc:"arrivals to generate") in
+  let process =
+    Arg.(value & opt string "poisson"
+         & info [ "process" ] ~doc:"arrival process: poisson | onoff | diurnal")
+  in
+  let injectors = Arg.(value & opt int 16 & info [ "injectors" ] ~doc:"concurrent open-loop senders") in
+  let bytes = Arg.(value & opt int 4096 & info [ "bytes" ] ~doc:"read size per request") in
+  let seed = Arg.(value & opt int 0x10AD & info [ "seed" ] ~doc:"simulation seed") in
+  let slo_p99 =
+    Arg.(value & opt float 0.0
+         & info [ "slo-p99" ] ~doc:"SLO p99 target in us (0 = no SLO tracking)")
+  in
+  let run rate total process injectors bytes seed slo_p99 =
+    let rate_ops_s = rate *. 1e3 in
+    let proc =
+      match process with
+      | "poisson" -> Workloads.Load.Poisson { rate_ops_s }
+      | "onoff" ->
+          (* 60/40 duty cycle, 100µs windows: same nominal rate, bursty. *)
+          Workloads.Load.On_off
+            { rate_ops_s = rate_ops_s /. 0.6; on_ns = 60_000.0; off_ns = 40_000.0 }
+      | "diurnal" ->
+          Workloads.Load.Diurnal
+            { mean_ops_s = rate_ops_s; amplitude = 0.5; period_ns = 1e7 }
+      | p ->
+          Printf.eprintf "unknown process %S (poisson | onoff | diurnal)\n" p;
+          exit 1
+    in
+    let injectors = Stdlib.max 1 injectors in
+    let platform =
+      Platform.boot ~nworkers:4 ~worker_max_inflight:32 ~seed
+        ~slo_p99_target_us:slo_p99 ()
+    in
+    (match Platform.mount platform load_stack_spec with
+    | Ok _ -> ()
+    | Error e ->
+        Printf.eprintf "mount error: %s\n" e;
+        exit 1);
+    let machine = Platform.machine platform in
+    let res =
+      Platform.go platform (fun () ->
+          let clients =
+            Array.init injectors (fun i ->
+                Platform.client platform ~thread:(i mod 16) ())
+          in
+          let next = ref 0 in
+          let spec =
+            { Workloads.Load.default_spec with proc; seed; total; injectors }
+          in
+          Workloads.Load.run machine spec ~submit:(fun ~injector ~scheduled ->
+              let lba = !next mod 131072 * 8 in
+              incr next;
+              match
+                Runtime.Client.read_block clients.(injector)
+                  ~scheduled_at:scheduled ~mount:"blk::/load" ~lba ~bytes
+              with
+              | Ok _ -> true
+              | Error _ -> false))
+    in
+    let r = res.Workloads.Load.recorder in
+    Printf.printf "open-loop %s load, %d arrivals, %d injectors, %d B reads:\n"
+      process res.Workloads.Load.generated injectors bytes;
+    print_value_table
+      [
+        ("offered", Printf.sprintf "%.1f kops/s" (res.Workloads.Load.offered_ops_s /. 1e3));
+        ("achieved", Printf.sprintf "%.1f kops/s" (res.Workloads.Load.achieved_ops_s /. 1e3));
+        ( "completed",
+          Printf.sprintf "%d ok, %d failed, %d dropped, %d late"
+            res.Workloads.Load.succeeded
+            (res.Workloads.Load.completed - res.Workloads.Load.succeeded)
+            res.Workloads.Load.dropped res.Workloads.Load.late );
+        ( "inject lag",
+          Printf.sprintf "mean %.1f us, max %.1f us"
+            (Obs.Latrec.lag_mean_ns r /. 1e3)
+            (Obs.Latrec.lag_max_ns r /. 1e3) );
+        ("elapsed", Printf.sprintf "%.2f ms" (res.Workloads.Load.elapsed_ns /. 1e6));
+      ];
+    Printf.printf "  latency        CO-corrected      naive (closed-loop view)\n";
+    List.iter
+      (fun (label, q) ->
+        let c = Obs.Latrec.corrected_quantile r q /. 1e3 in
+        let nv = Obs.Latrec.naive_quantile r q /. 1e3 in
+        Printf.printf "  %-9s %10.1f us %15.1f us   (%.2fx)\n" label c nv
+          (c /. Stdlib.max 1e-9 nv))
+      [ ("p50", 0.50); ("p90", 0.90); ("p99", 0.99); ("p99.9", 0.999) ];
+    if slo_p99 > 0.0 then
+      match Runtime.Runtime.slo (Platform.runtime platform) with
+      | None -> ()
+      | Some slo ->
+          let open Obs.Latrec.Slo in
+          Printf.printf
+            "  SLO (p99 <= %.0f us): budget remaining %.1f%%, burn rate %.2fx\n"
+            slo_p99
+            (100.0 *. budget_remaining slo)
+            (burn_rate slo)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Fire an open-loop arrival schedule at a stack and report CO-corrected vs naive latency")
+    Term.(const run $ rate $ total $ process $ injectors $ bytes $ seed $ slo_p99)
+
 let () =
   let info =
     Cmd.info "labstor_cli" ~version:"1.0.0"
@@ -959,5 +1084,5 @@ let () =
        (Cmd.group info
           [
             validate_cmd; run_cmd; faults_cmd; lvm_cmd; cache_cmd; metrics_cmd;
-            trace_cmd; profile_cmd; top_cmd; mods_cmd; qos_cmd;
+            trace_cmd; profile_cmd; top_cmd; mods_cmd; qos_cmd; load_cmd;
           ]))

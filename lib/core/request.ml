@@ -65,6 +65,11 @@ type t = {
       (** dense QoS-tenant index ([-1] = no tenant): one array read for
           the scheduler's per-tenant lookup instead of a Hashtbl probe *)
   mutable submitted_at : float;
+  mutable scheduled_at : float;
+      (** coordinated-omission-safe latency origin: when an open-loop
+          arrival process intended this request to exist, which can be
+          earlier than [submitted_at] if the generator fell behind.
+          Equal to [submitted_at] for closed-loop requests. *)
 }
 
 let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
@@ -83,6 +88,7 @@ let make ~id ~pid ~uid ~thread ~stack_id ~now payload =
     trace = None;
     tenant = -1;
     submitted_at = now;
+    scheduled_at = now;
   }
 
 (* Free-list of recycled request records. A released request is
@@ -120,6 +126,7 @@ module Pool = struct
       r.trace <- None;
       r.tenant <- -1;
       r.submitted_at <- now;
+      r.scheduled_at <- now;
       r
     end
 

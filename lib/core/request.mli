@@ -72,6 +72,15 @@ type t = {
           ([-1] = no tenant): the scheduler's per-tenant lookup is one
           array read, never a Hashtbl probe *)
   mutable submitted_at : float;
+  mutable scheduled_at : float;
+      (** coordinated-omission-safe latency origin: when an open-loop
+          arrival process {e intended} this request to exist, which can
+          be earlier than [submitted_at] if the generator fell behind
+          its schedule. {!make} and {!Pool.acquire} initialize it to
+          [submitted_at]; an open-loop injector overwrites it before
+          dispatch. Latency measured from here includes the time the
+          request spent waiting to even be sent — the part closed-loop
+          (send-time) measurement omits. *)
 }
 (** Fields are mutable to support {!Pool} recycling; everything except
     the explicitly-mutable routing state (hop, result, hints, prefetch,

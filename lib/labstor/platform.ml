@@ -32,7 +32,8 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(worker_max_inflight = 16) ?fault_rates ?fault_script
     ?(trace_sample = 0) ?trace_path ?metrics_path
     ?(profile_period = 0.0) ?profile_path ?lvm_rebuild_rate_mbps
-    ?qos_quantum_kb ?qos_window_kb ?qos_bypass_kb () =
+    ?qos_quantum_kb ?qos_window_kb ?qos_bypass_kb ?slo_name
+    ?slo_p99_target_us ?slo_floor_kops ?slo_error_budget ?slo_window_ms () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
@@ -97,6 +98,32 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     opt_i
       (fun c i -> { c with Lab_runtime.Runtime.qos_bypass_kb = i })
       config qos_bypass_kb
+  in
+  (* SLO knobs: [opt_i] is type-polymorphic despite the name. *)
+  let config =
+    opt_i
+      (fun c s -> { c with Lab_runtime.Runtime.slo_name = s })
+      config slo_name
+  in
+  let config =
+    opt_i
+      (fun c f -> { c with Lab_runtime.Runtime.slo_p99_target_us = f })
+      config slo_p99_target_us
+  in
+  let config =
+    opt_i
+      (fun c f -> { c with Lab_runtime.Runtime.slo_floor_kops = f })
+      config slo_floor_kops
+  in
+  let config =
+    opt_i
+      (fun c f -> { c with Lab_runtime.Runtime.slo_error_budget = f })
+      config slo_error_budget
+  in
+  let config =
+    opt_i
+      (fun c f -> { c with Lab_runtime.Runtime.slo_window_ms = f })
+      config slo_window_ms
   in
   let rt =
     Lab_runtime.Runtime.create m ~config

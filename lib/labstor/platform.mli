@@ -27,6 +27,11 @@ val boot :
   ?qos_quantum_kb:int ->
   ?qos_window_kb:int ->
   ?qos_bypass_kb:int ->
+  ?slo_name:string ->
+  ?slo_p99_target_us:float ->
+  ?slo_floor_kops:float ->
+  ?slo_error_budget:float ->
+  ?slo_window_ms:float ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
@@ -63,7 +68,17 @@ val boot :
     multi-tenant QoS table's DRR quantum, dispatch window and
     latency-class bypass threshold
     ({!Lab_runtime.Runtime.config.qos_quantum_kb} etc.); the table is
-    inert until {!register_tenant} is called. *)
+    inert until {!register_tenant} is called.
+
+    [slo_p99_target_us] / [slo_floor_kops] configure a runtime-wide
+    service-level objective over client latency (see
+    {!Lab_runtime.Runtime.slo}): requests slower than the target — and
+    burn windows serving fewer ops than the floor — consume error
+    budget ([slo_error_budget], default 1%) tracked per
+    [slo_window_ms] window, exported as the
+    [slo.<slo_name>.budget_remaining] / [.burn_rate] gauges. Leaving
+    both at their 0 defaults builds no SLO object at all, keeping the
+    request path byte-identical to a platform without SLO support. *)
 
 val machine : t -> Lab_sim.Machine.t
 

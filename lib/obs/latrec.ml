@@ -1,0 +1,319 @@
+(* Coordinated-omission-safe latency recording.
+
+   Closed-loop benches measure latency from the moment a request was
+   *sent*, so a stalled server silently slows the generator down and
+   the stall never shows up in the percentiles (coordinated omission).
+   A [Latrec.t] instead timestamps every request at its *scheduled*
+   arrival — the instant the open-loop arrival process intended it to
+   exist — and keeps three distributions side by side:
+
+   - corrected : completed - scheduled  (what a user would experience)
+   - naive     : completed - sent       (what a closed-loop bench reports)
+   - lag       : sent - scheduled       (injection lag: how far the
+                 generator itself fell behind its own schedule)
+
+   plus counts of dropped injections (arrivals the harness had to shed
+   because its backlog cap was hit) and late injections (lag above a
+   threshold). Below saturation corrected ≈ naive; past the knee they
+   diverge — the divergence *is* the queueing delay closed-loop
+   measurement hides.
+
+   The histograms are higher resolution than the metrics registry's
+   64-bucket log2 ones: HDR-style log2 majors split into 32 linear
+   sub-buckets (≤ 6.25% quantile error instead of ≤ 2x), with exact
+   min/max/sum tracked beside the buckets. Everything here is plain
+   arithmetic on caller-supplied timestamps — no clocks, no engine —
+   so recording can never perturb a deterministic run. *)
+
+(* ------------------------------------------------------------------ *)
+(* High-resolution histogram                                           *)
+
+module Hist = struct
+  let sub_bits = 5
+
+  let subs = 1 lsl sub_bits (* 32 linear sub-buckets per log2 major *)
+
+  let half = 1 lsl (sub_bits - 1)
+
+  (* 62-bit values land at bucket ~ (62-5+1)*16+31 = 959; 1024 covers
+     every int the simulator can produce. *)
+  let nbuckets = 1024
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () =
+    {
+      buckets = Array.make nbuckets 0;
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+    }
+
+  let msb v =
+    let r = ref 0 and v = ref v in
+    while !v > 1 do
+      incr r;
+      v := !v lsr 1
+    done;
+    !r
+
+  (* Values below [subs] ns are exact; above, a value with top bit p
+     shares a bucket with the other values agreeing on its top
+     [sub_bits] bits — relative error at most 2^-(sub_bits-1). *)
+  let index_of iv =
+    if iv < subs then iv
+    else begin
+      let b = msb iv - sub_bits + 1 in
+      let top = iv lsr b in
+      Stdlib.min (nbuckets - 1) ((b * half) + top)
+    end
+
+  let upper_of idx =
+    if idx < subs then Stdlib.float_of_int idx
+    else begin
+      let b = (idx / half) - 1 in
+      let top = idx - (b * half) in
+      Stdlib.float_of_int ((top + 1) lsl b) -. 1.0
+    end
+
+  let observe h v =
+    let v = if Float.is_finite v && v > 0.0 then v else 0.0 in
+    let idx = index_of (Stdlib.int_of_float v) in
+    h.buckets.(idx) <- h.buckets.(idx) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+
+  let count h = h.count
+
+  let sum h = h.sum
+
+  let mean h = if h.count = 0 then 0.0 else h.sum /. Stdlib.float_of_int h.count
+
+  let min_value h = if h.count = 0 then 0.0 else h.min_v
+
+  let max_value h = if h.count = 0 then 0.0 else h.max_v
+
+  (* Nearest-rank quantile over the buckets; the estimate is the
+     bucket's upper bound clamped into the exact [min, max] envelope,
+     so p0/p100 are exact and no estimate can exceed the true range. *)
+  let quantile h q =
+    if h.count = 0 then 0.0
+    else begin
+      let rank =
+        let r = Stdlib.int_of_float (ceil (q *. Stdlib.float_of_int h.count)) in
+        if r < 1 then 1 else if r > h.count then h.count else r
+      in
+      let cum = ref 0 and ans = ref h.max_v in
+      (try
+         for i = 0 to nbuckets - 1 do
+           cum := !cum + h.buckets.(i);
+           if !cum >= rank then begin
+             ans := upper_of i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.min h.max_v (Float.max h.min_v !ans)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* The recorder                                                        *)
+
+type t = {
+  corrected : Hist.t;
+  naive : Hist.t;
+  lag : Hist.t;
+  late_threshold_ns : float;
+  mutable recorded : int;
+  mutable errors : int;
+  mutable dropped : int;
+  mutable late : int;
+}
+
+let create ?(late_threshold_ns = 1_000.0) () =
+  {
+    corrected = Hist.create ();
+    naive = Hist.create ();
+    lag = Hist.create ();
+    late_threshold_ns;
+    recorded = 0;
+    errors = 0;
+    dropped = 0;
+    late = 0;
+  }
+
+let record t ~scheduled ~sent ~completed ~ok =
+  let lag = sent -. scheduled in
+  Hist.observe t.corrected (completed -. scheduled);
+  Hist.observe t.naive (completed -. sent);
+  Hist.observe t.lag lag;
+  t.recorded <- t.recorded + 1;
+  if not ok then t.errors <- t.errors + 1;
+  if lag > t.late_threshold_ns then t.late <- t.late + 1
+
+let drop t = t.dropped <- t.dropped + 1
+
+let recorded t = t.recorded
+
+let errors t = t.errors
+
+let dropped t = t.dropped
+
+let late t = t.late
+
+let corrected t = t.corrected
+
+let naive t = t.naive
+
+let lag t = t.lag
+
+let corrected_quantile t q = Hist.quantile t.corrected q
+
+let naive_quantile t q = Hist.quantile t.naive q
+
+let lag_mean_ns t = Hist.mean t.lag
+
+let lag_max_ns t = Hist.max_value t.lag
+
+(* Read-through gauges into the metrics registry, so a platform export
+   carries the CO-corrected tail next to everything else. *)
+let register t ~reg ~prefix =
+  let g name f = Metrics.gauge_fn reg (prefix ^ "." ^ name) f in
+  g "p50_corrected_ns" (fun () -> Hist.quantile t.corrected 0.50);
+  g "p99_corrected_ns" (fun () -> Hist.quantile t.corrected 0.99);
+  g "p999_corrected_ns" (fun () -> Hist.quantile t.corrected 0.999);
+  g "p99_naive_ns" (fun () -> Hist.quantile t.naive 0.99);
+  g "max_corrected_ns" (fun () -> Hist.max_value t.corrected);
+  g "lag_mean_ns" (fun () -> lag_mean_ns t);
+  g "lag_max_ns" (fun () -> lag_max_ns t);
+  g "recorded" (fun () -> Stdlib.float_of_int t.recorded);
+  g "dropped" (fun () -> Stdlib.float_of_int t.dropped);
+  g "late" (fun () -> Stdlib.float_of_int t.late)
+
+(* ------------------------------------------------------------------ *)
+(* Service-level objectives                                            *)
+
+(* An SLO pairs a latency target (requests over the target are "bad")
+   with a throughput floor (windows that served fewer ops than the
+   floor demanded burn budget for the ops that never got served) and
+   tracks the classic error-budget arithmetic: with budget fraction b,
+   budget_remaining = 1 - bad/(b * total) (1.0 = untouched, 0 =
+   exhausted, negative = overdrawn) and burn_rate = the last complete
+   window's bad fraction divided by b (1.0 = burning exactly at
+   budget). Both export as registry gauges under "slo.<name>.*". *)
+module Slo = struct
+  type slo = {
+    name : string;
+    p99_target_ns : float;
+    floor_ops_s : float;
+    error_budget : float;
+    window_ns : float;
+    mutable total : float;
+    mutable bad : float;
+    mutable w_start : float;  (* nan until the first observation *)
+    mutable w_ops : float;  (* real ops in the open window *)
+    mutable w_bad : float;
+    mutable pw_frac : float;  (* last complete window's bad fraction *)
+    mutable windows_done : int;
+    mutable floor_deficit : float;  (* unserved ops charged so far *)
+  }
+
+  type t = slo
+
+  (* Close the open window: charge the throughput floor's unserved ops
+     as bad demand, then publish the window's bad fraction. A long idle
+     gap closes every intervening empty window in one step. *)
+  let rotate t ~now =
+    if Float.is_finite t.w_start then begin
+      let expected = t.floor_ops_s *. t.window_ns /. 1e9 in
+      while now -. t.w_start >= t.window_ns do
+        let deficit = Float.max 0.0 (expected -. t.w_ops) in
+        t.bad <- t.bad +. deficit;
+        t.total <- t.total +. deficit;
+        t.floor_deficit <- t.floor_deficit +. deficit;
+        let w_total = t.w_ops +. deficit in
+        t.pw_frac <- (if w_total > 0.0 then (t.w_bad +. deficit) /. w_total else 0.0);
+        t.windows_done <- t.windows_done + 1;
+        t.w_ops <- 0.0;
+        t.w_bad <- 0.0;
+        t.w_start <- t.w_start +. t.window_ns
+      done
+    end
+    else t.w_start <- now
+
+  let observe t ~latency_ns ~now =
+    rotate t ~now;
+    let bad = t.p99_target_ns > 0.0 && latency_ns > t.p99_target_ns in
+    t.total <- t.total +. 1.0;
+    t.w_ops <- t.w_ops +. 1.0;
+    if bad then begin
+      t.bad <- t.bad +. 1.0;
+      t.w_bad <- t.w_bad +. 1.0
+    end
+
+  let tick t ~now = rotate t ~now
+
+  let budget_remaining t =
+    if t.total <= 0.0 then 1.0
+    else 1.0 -. (t.bad /. (t.error_budget *. t.total))
+
+  (* Burn rate prefers the last complete window (the operational
+     "how fast right now" signal); before any window has closed it
+     falls back to the cumulative fraction. *)
+  let burn_rate t =
+    let frac =
+      if t.windows_done > 0 then t.pw_frac
+      else if t.total > 0.0 then t.bad /. t.total
+      else 0.0
+    in
+    frac /. t.error_budget
+
+  let bad_total t = t.bad
+
+  let observed_total t = t.total
+
+  let floor_deficit t = t.floor_deficit
+
+  let name t = t.name
+
+  let p99_target_ns t = t.p99_target_ns
+
+  let create ?reg ~name ?(p99_target_ns = 0.0) ?(floor_ops_s = 0.0)
+      ?(error_budget = 0.01) ?(window_ns = 1e8) () =
+    if error_budget <= 0.0 then invalid_arg "Latrec.Slo.create: error_budget";
+    if window_ns <= 0.0 then invalid_arg "Latrec.Slo.create: window_ns";
+    let t =
+      {
+        name;
+        p99_target_ns;
+        floor_ops_s;
+        error_budget;
+        window_ns;
+        total = 0.0;
+        bad = 0.0;
+        w_start = nan;
+        w_ops = 0.0;
+        w_bad = 0.0;
+        pw_frac = 0.0;
+        windows_done = 0;
+        floor_deficit = 0.0;
+      }
+    in
+    (match reg with
+    | Some reg ->
+        let g k f = Metrics.gauge_fn reg ("slo." ^ name ^ "." ^ k) f in
+        g "budget_remaining" (fun () -> budget_remaining t);
+        g "burn_rate" (fun () -> burn_rate t)
+    | None -> ());
+    t
+end

@@ -23,6 +23,11 @@ type histogram = {
   buckets : int array; (* bucket i counts values v with 2^(i-1) < v <= 2^i *)
   mutable h_count : int;
   mutable h_sum : float;
+  (* Exact extremes beside the quantized buckets: the log2 buckets
+     place the extreme tail only within 2x, and the knee analyses in
+     the load harness need the true worst observation. *)
+  mutable h_min : float;
+  mutable h_max : float;
 }
 
 type instrument =
@@ -77,7 +82,15 @@ let gauge_fn t name f = Hashtbl.replace t.tbl name (Gauge f)
 (* --- histograms --------------------------------------------------- *)
 
 let histogram ?reg name =
-  let make () = { buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0.0 } in
+  let make () =
+    {
+      buckets = Array.make nbuckets 0;
+      h_count = 0;
+      h_sum = 0.0;
+      h_min = infinity;
+      h_max = neg_infinity;
+    }
+  in
   match reg with
   | None -> make ()
   | Some t ->
@@ -107,10 +120,14 @@ let observe h v =
   let i = bucket_of v in
   h.buckets.(i) <- h.buckets.(i) + 1;
   h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
 
 let hist_count h = h.h_count
 let hist_sum h = h.h_sum
+let hist_min h = if h.h_count = 0 then 0.0 else h.h_min
+let hist_max h = if h.h_count = 0 then 0.0 else h.h_max
 let bucket_upper i = Float.of_int (1 lsl i)
 
 (* Nearest-rank quantile over the bucketed distribution; returns the
@@ -145,6 +162,8 @@ let p999 h = quantile h 0.999
 type hist_snapshot = {
   hs_count : int;
   hs_sum : float;
+  hs_min : float; (* exact, not bucket-quantized; 0 when empty *)
+  hs_max : float;
   hs_p50 : float;
   hs_p99 : float;
   hs_p999 : float;
@@ -164,6 +183,8 @@ let snapshot_hist h =
   {
     hs_count = h.h_count;
     hs_sum = h.h_sum;
+    hs_min = hist_min h;
+    hs_max = hist_max h;
     hs_p50 = p50 h;
     hs_p99 = p99 h;
     hs_p999 = p999 h;
@@ -225,9 +246,9 @@ let to_jsonl t =
               |> String.concat ","
             in
             Printf.sprintf
-              {|"type":"histogram","count":%d,"sum":%s,"p50":%s,"p99":%s,"p999":%s,"buckets":[%s]|}
-              h.hs_count (jfloat h.hs_sum) (jfloat h.hs_p50) (jfloat h.hs_p99)
-              (jfloat h.hs_p999) buckets
+              {|"type":"histogram","count":%d,"sum":%s,"min":%s,"max":%s,"p50":%s,"p99":%s,"p999":%s,"buckets":[%s]|}
+              h.hs_count (jfloat h.hs_sum) (jfloat h.hs_min) (jfloat h.hs_max)
+              (jfloat h.hs_p50) (jfloat h.hs_p99) (jfloat h.hs_p999) buckets
       in
       Buffer.add_string buf
         (Printf.sprintf "{\"name\":%s,%s}\n" (jstring name) body))

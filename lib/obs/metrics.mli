@@ -53,6 +53,13 @@ val observe : histogram -> float -> unit
 
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
+
+val hist_min : histogram -> float
+(** Exact smallest observation (not bucket-quantized); 0.0 when empty. *)
+
+val hist_max : histogram -> float
+(** Exact largest observation; 0.0 when empty. *)
+
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1]; 0.0 when empty. *)
 
@@ -65,6 +72,8 @@ val p999 : histogram -> float
 type hist_snapshot = {
   hs_count : int;
   hs_sum : float;
+  hs_min : float;  (** exact extreme, not bucket-quantized; 0 when empty *)
+  hs_max : float;
   hs_p50 : float;
   hs_p99 : float;
   hs_p999 : float;

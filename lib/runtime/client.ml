@@ -205,7 +205,8 @@ let recover t =
    settles the admission (cap slot back, latency recorded) on every
    exit, including before the crash-recovery resubmission, which is a
    fresh attempt and must re-admit. *)
-let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
+let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~scheduled
+    ~deadline_abs =
   apply_decentralized_upgrades t;
   let tenant_bytes = Request.payload_bytes payload in
   let t_attempt = Machine.now (machine t) in
@@ -237,13 +238,28 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
   (match tenant with
   | Some tn -> req.Request.tenant <- Tenant.idx tn
   | None -> ());
+  (* Open-loop origin: the arrival process intended this request at
+     [scheduled], which may precede [submitted_at] when the injector
+     fell behind. Closed-loop callers pass [None] and keep the two
+     equal, so nothing below deviates for them. *)
+  (match scheduled with
+  | Some s0 ->
+      req.Request.scheduled_at <- Float.min s0 req.Request.submitted_at
+  | None -> ());
   (* Trace context: present only when this request id is sampled, so
-     with sampling off the whole path costs one option check. *)
+     with sampling off the whole path costs one option check. The flow
+     starts at the scheduled origin; any injection lag shows up as its
+     own stage rather than silently inflating "submit". *)
   req.Request.trace <-
     Trace.start (Runtime.tracer t.runtime) ~id:req.Request.id
-      ~now:req.Request.submitted_at;
+      ~now:req.Request.scheduled_at;
   (match req.Request.trace with
-  | Some fl -> Trace.open_stage fl ~name:"submit" ~now:req.Request.submitted_at
+  | Some fl ->
+      if req.Request.scheduled_at < req.Request.submitted_at then begin
+        Trace.open_stage fl ~name:"inject_lag" ~now:req.Request.scheduled_at;
+        Trace.close_stage fl ~tid:t.c_thread ~now:req.Request.submitted_at
+      end;
+      Trace.open_stage fl ~name:"submit" ~now:req.Request.submitted_at
   | None -> ());
   match stack.Stack.exec_mode with
   | Stack_spec.Sync ->
@@ -268,7 +284,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
       if not (Ipc_manager.online (Runtime.ipc t.runtime)) then begin
         settle ~ok:false;
         recover t;
-        dispatch_once t stack payload ~hint ~stream ~deadline_abs
+        dispatch_once t stack payload ~hint ~stream ~scheduled ~deadline_abs
       end
       else begin
         let qp = qp_for_stack t stack in
@@ -321,7 +337,8 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~deadline_abs =
         | Error `Crashed ->
             settle ~ok:false;
             recover t;
-            dispatch_once t stack payload ~hint ~stream ~deadline_abs
+            dispatch_once t stack payload ~hint ~stream ~scheduled
+              ~deadline_abs
       end
 
 let deadline_of_policy t =
@@ -343,7 +360,8 @@ let backoff_ns t attempt =
    exponential backoff + jitter on transient failures, degraded-mode
    requeueing to another hardware queue on ENODEV, all under one
    per-request deadline. *)
-let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
+let retry_transient t (stack : Stack.t) payload ~stream ~scheduled
+    ~deadline_abs first =
   let p = t.policy in
   let rec next n ~hint result =
     if not (Request.is_transient_failure result) then result
@@ -371,20 +389,37 @@ let retry_transient t (stack : Stack.t) payload ~stream ~deadline_abs first =
       end
       else
         next (n + 1) ~hint
-          (dispatch_once t stack payload ~hint ~stream ~deadline_abs)
+          (dispatch_once t stack payload ~hint ~stream ~scheduled
+             ~deadline_abs)
     end
   in
   next 0 ~hint:None first
 
-(* Submit a request and apply the fault policy to its outcome. *)
-let do_request t (stack : Stack.t) ?stream payload =
+(* Submit a request and apply the fault policy to its outcome.
+
+   [scheduled_at] is the open-loop arrival process's intended injection
+   time: when given, the latency observed here (and fed to the runtime
+   SLO, if one is configured) is measured from it rather than from the
+   send — the coordinated-omission-safe origin. Closed-loop callers
+   omit it and measure from the send as before. *)
+let do_request t (stack : Stack.t) ?stream ?scheduled_at payload =
   let t_begin = Machine.now (machine t) in
   let deadline_abs = deadline_of_policy t in
   let result =
-    retry_transient t stack payload ~stream ~deadline_abs
-      (dispatch_once t stack payload ~hint:None ~stream ~deadline_abs)
+    retry_transient t stack payload ~stream ~scheduled:scheduled_at
+      ~deadline_abs
+      (dispatch_once t stack payload ~hint:None ~stream
+         ~scheduled:scheduled_at ~deadline_abs)
   in
-  Metrics.observe t.latency_hist (Machine.now (machine t) -. t_begin);
+  let t_end = Machine.now (machine t) in
+  let origin =
+    match scheduled_at with Some s -> Float.min s t_begin | None -> t_begin
+  in
+  Metrics.observe t.latency_hist (t_end -. origin);
+  (match Runtime.slo t.runtime with
+  | Some slo ->
+      Lab_obs.Latrec.Slo.observe slo ~latency_ns:(t_end -. origin) ~now:t_end
+  | None -> ());
   result
 
 (* --- Batched submission (io_uring-style multi-submit) --- *)
@@ -621,19 +656,19 @@ let delete t ~key =
   let* stack = resolve t key in
   as_unit (do_request t stack (Request.Kv (Request.Delete { key })))
 
-let block_op t ?stream ~mount kind ~lba ~bytes =
+let block_op t ?stream ?scheduled_at ~mount kind ~lba ~bytes =
   match Namespace.lookup (Runtime.namespace t.runtime) mount with
   | None -> Error (Printf.sprintf "nothing mounted at %S" mount)
   | Some stack ->
       as_size
-        (do_request t stack ?stream
+        (do_request t stack ?stream ?scheduled_at
            (Request.Block { Request.b_kind = kind; b_lba = lba; b_bytes = bytes; b_sync = false }))
 
-let write_block ?stream t ~mount ~lba ~bytes =
-  block_op t ?stream ~mount Request.Write ~lba ~bytes
+let write_block ?stream ?scheduled_at t ~mount ~lba ~bytes =
+  block_op t ?stream ?scheduled_at ~mount Request.Write ~lba ~bytes
 
-let read_block ?stream t ~mount ~lba ~bytes =
-  block_op t ?stream ~mount Request.Read ~lba ~bytes
+let read_block ?stream ?scheduled_at t ~mount ~lba ~bytes =
+  block_op t ?stream ?scheduled_at ~mount Request.Read ~lba ~bytes
 
 type batch_op = { op_kind : Request.io_kind; op_lba : int; op_bytes : int }
 
@@ -670,8 +705,8 @@ let block_batch t ~mount ops =
             (List.map2
                (fun payload first ->
                  as_size
-                   (retry_transient t stack payload ~stream:None ~deadline_abs
-                      first))
+                   (retry_transient t stack payload ~stream:None
+                      ~scheduled:None ~deadline_abs first))
                payloads firsts))
 
 let control t ~mount payload =

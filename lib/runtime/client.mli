@@ -102,16 +102,35 @@ val delete : t -> key:string -> (unit, string) result
 (** {2 Raw block access} *)
 
 val write_block :
-  ?stream:int -> t -> mount:string -> lba:int -> bytes:int -> (int, string) result
+  ?stream:int ->
+  ?scheduled_at:float ->
+  t ->
+  mount:string ->
+  lba:int ->
+  bytes:int ->
+  (int, string) result
 (** Submits a block write to the stack at [mount] (whose entry LabMod
     must accept block requests, e.g. a scheduler or driver) — the
     direct-to-device path of the scheduler experiments. [stream] tags
     the request with a sequential-access stream id
     ({!Lab_core.Request.t.hint_stream}) so cache LabMods can track
-    per-stream readahead; untagged requests are keyed by pid. *)
+    per-stream readahead; untagged requests are keyed by pid.
+
+    [scheduled_at] is the open-loop arrival process's intended
+    injection time ({!Lab_core.Request.t.scheduled_at}): when given,
+    the client measures latency (and feeds the runtime SLO, if
+    configured) from it instead of from the send, which is the
+    coordinated-omission-safe origin. Omitted = closed-loop behavior,
+    identical to before the field existed. *)
 
 val read_block :
-  ?stream:int -> t -> mount:string -> lba:int -> bytes:int -> (int, string) result
+  ?stream:int ->
+  ?scheduled_at:float ->
+  t ->
+  mount:string ->
+  lba:int ->
+  bytes:int ->
+  (int, string) result
 
 (** {2 Batched block access}
 

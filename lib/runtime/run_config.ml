@@ -78,6 +78,16 @@ let of_yaml node =
         tenant_rate_mbps = getf "tenant_rate_mbps" d.Runtime.tenant_rate_mbps;
         tenant_burst_kb = geti "tenant_burst_kb" d.Runtime.tenant_burst_kb;
         tenant_qcap = geti "tenant_qcap" d.Runtime.tenant_qcap;
+        slo_name =
+          Option.value ~default:d.Runtime.slo_name (gets "slo_name" None);
+        slo_p99_target_us =
+          getf "slo_p99_target_us" d.Runtime.slo_p99_target_us;
+        slo_floor_kops = getf "slo_floor_kops" d.Runtime.slo_floor_kops;
+        slo_error_budget = getf "slo_error_budget" d.Runtime.slo_error_budget;
+        slo_window_ms = getf "slo_window_ms" d.Runtime.slo_window_ms;
+        load_rate_kops = getf "load_rate_kops" d.Runtime.load_rate_kops;
+        load_injectors = geti "load_injectors" d.Runtime.load_injectors;
+        load_queue_cap = geti "load_queue_cap" d.Runtime.load_queue_cap;
       }
 
 let parse text =

@@ -15,6 +15,13 @@
     metrics_path: out/metrics.jsonl
     profile_period_us: 50   # sampler period (0 = profiling off)
     profile_path: out/profile.json
+    slo_p99_target_us: 40   # latency objective (0 = no SLO)
+    slo_floor_kops: 100     # throughput floor (0 = none)
+    slo_error_budget: 0.01
+    slo_window_ms: 1
+    load_rate_kops: 50      # open-loop harness defaults
+    load_injectors: 16
+    load_queue_cap: 4096
     policy:
       kind: dynamic        # static | round_robin | dynamic
       max_workers: 8

@@ -31,6 +31,23 @@ type config = {
   tenant_rate_mbps : float;  (* default token-bucket rate; 0 = uncapped *)
   tenant_burst_kb : int;  (* default token-bucket burst (KiB) *)
   tenant_qcap : int;  (* default outstanding-op cap per tenant *)
+  slo_name : string;  (* SLO gauge prefix: slo.<name>.* *)
+  slo_p99_target_us : float;
+      (* client-latency objective (µs); observations over it burn error
+         budget. <= 0 (with no floor) means no SLO object exists at all
+         and the request path stays byte-identical to a build without
+         SLO support *)
+  slo_floor_kops : float;
+      (* throughput floor (kops/s): windows serving less than this burn
+         budget for the unserved demand; 0 = no floor *)
+  slo_error_budget : float;  (* allowed bad fraction (default 1%) *)
+  slo_window_ms : float;  (* burn-rate window (simulated ms) *)
+  load_rate_kops : float;
+      (* default offered arrival rate for the open-loop load harness *)
+  load_injectors : int;  (* injector pool size (concurrent senders) *)
+  load_queue_cap : int;
+      (* pending-arrival backlog cap; arrivals past it are shed and
+         counted as drops rather than queued without bound *)
 }
 
 let default_config =
@@ -56,6 +73,14 @@ let default_config =
     tenant_rate_mbps = 0.0;
     tenant_burst_kb = 256;
     tenant_qcap = 64;
+    slo_name = "client";
+    slo_p99_target_us = 0.0;
+    slo_floor_kops = 0.0;
+    slo_error_budget = 0.01;
+    slo_window_ms = 1.0;
+    load_rate_kops = 50.0;
+    load_injectors = 16;
+    load_queue_cap = 4096;
   }
 
 type qstat = {
@@ -83,6 +108,9 @@ type t = {
   service_hist : Lab_obs.Metrics.histogram;
   timeseries : Lab_obs.Timeseries.t option;
   qos : Tenant.t;
+  slo : Lab_obs.Latrec.Slo.t option;
+      (* runtime-wide SLO over client latency; [None] (the default)
+         means the request path makes exactly one option check *)
 }
 
 let machine t = t.machine
@@ -106,6 +134,8 @@ let metrics t = t.metrics
 let timeseries t = t.timeseries
 
 let qos t = t.qos
+
+let slo t = t.slo
 
 let next_request_id t =
   t.req_counter <- t.req_counter + 1;
@@ -196,6 +226,19 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
       ~bypass_bytes:(1024 * config.qos_bypass_kb)
       ()
   in
+  (* The runtime-wide SLO: built only when an objective is configured,
+     so the default request path never even allocates the object. *)
+  let slo =
+    if config.slo_p99_target_us > 0.0 || config.slo_floor_kops > 0.0 then
+      Some
+        (Lab_obs.Latrec.Slo.create ~reg:metrics ~name:config.slo_name
+           ~p99_target_ns:(config.slo_p99_target_us *. 1e3)
+           ~floor_ops_s:(config.slo_floor_kops *. 1e3)
+           ~error_budget:config.slo_error_budget
+           ~window_ns:(config.slo_window_ms *. 1e6)
+           ())
+    else None
+  in
   Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
     ~nworkers:config.nworkers
     ~lvm_rebuild_rate_mbps:config.lvm_rebuild_rate_mbps ~metrics ?timeseries
@@ -245,6 +288,7 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          service_hist = Lab_obs.Metrics.histogram ~reg:metrics "runtime.service_ns";
          timeseries;
          qos;
+         slo;
        })
   in
   let t = Lazy.force t in

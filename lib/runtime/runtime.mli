@@ -56,6 +56,32 @@ type config = {
   tenant_qcap : int;
       (** default per-tenant outstanding-op cap (64); admission refuses
           (EAGAIN) beyond it *)
+  slo_name : string;
+      (** prefix of the SLO burn gauges ([slo.<name>.budget_remaining],
+          [slo.<name>.burn_rate]); default ["client"] *)
+  slo_p99_target_us : float;
+      (** client-latency objective (µs): requests slower than this burn
+          error budget. [<= 0] with no floor (the default) means no SLO
+          object is built at all — the request path is byte-identical
+          to a build without SLO support *)
+  slo_floor_kops : float;
+      (** throughput floor (kops/s): a burn window that served fewer
+          ops than the floor demanded burns budget for the unserved
+          demand; [0] = no floor *)
+  slo_error_budget : float;
+      (** allowed bad fraction of requests (default 0.01) *)
+  slo_window_ms : float;
+      (** burn-rate window in simulated milliseconds (default 1) *)
+  load_rate_kops : float;
+      (** default offered arrival rate (kops/s) for the open-loop load
+          harness ({!Lab_workloads.Load}); default 50 *)
+  load_injectors : int;
+      (** injector pool size: concurrent open-loop senders (default 16,
+          matching the device's hardware-queue count) *)
+  load_queue_cap : int;
+      (** pending-arrival backlog cap (default 4096): arrivals past it
+          are shed and counted as drops, keeping a saturated run's
+          memory bounded *)
 }
 
 val default_config : config
@@ -104,6 +130,13 @@ val timeseries : t -> Lab_obs.Timeseries.t option
 val qos : t -> Lab_ipc.Tenant.t
 (** The multi-tenant QoS table. Always present; inert (every request
     skips the dispatch gate) until a tenant is registered. *)
+
+val slo : t -> Lab_obs.Latrec.Slo.t option
+(** The runtime-wide client-latency SLO, present iff the config sets a
+    latency target or throughput floor. When present, every client
+    request feeds it and its error-budget gauges
+    ([slo.<name>.budget_remaining], [slo.<name>.burn_rate]) travel with
+    {!Platform.export}. *)
 
 val register_tenant :
   t ->
