@@ -47,6 +47,9 @@ let experiments : (string * string * (unit -> unit)) list =
     ( "load",
       "Open-loop offered-rate sweep: CO-safe throughput-vs-p99 knee curves",
       Exp_load.run );
+    ( "exemplars",
+      "Tail exemplar capture + flight recorder: neutrality, coverage, dumps",
+      Exp_exemplars.run );
   ]
 
 let usage () =

@@ -287,18 +287,29 @@ let () =
     | Some band -> Float.max threshold band
     | None -> threshold
   in
-  let failures = ref 0 in
-  let flag fmt = Printf.ksprintf (fun m -> incr failures; print_endline m) fmt in
+  (* Failures accumulate with a drift magnitude so the exit summary can
+     rank them: structural problems (MISSING/NEW) outrank any numeric
+     drift. *)
+  let failures = ref [] in
+  let flag ~drift fmt =
+    Printf.ksprintf
+      (fun m ->
+        failures := (drift, m) :: !failures;
+        print_endline m)
+      fmt
+  in
   List.iter
     (fun (path, b) ->
       if not (is_band path) then
         match List.assoc_opt path fresh with
-        | None -> flag "MISSING  %-40s baseline=%g (absent in fresh)" path b
+        | None ->
+            flag ~drift:infinity "MISSING  %-40s baseline=%g (absent in fresh)"
+              path b
         | Some f ->
             let t = leaf_threshold path in
             let d = rel_diff b f in
             if d > t then
-              flag
+              flag ~drift:d
                 "REGRESS  %-40s baseline=%g fresh=%g (%+.1f%%, allowed ±%.0f%%)"
                 path b f
                 (100.0 *. (f -. b) /. Float.max (Float.abs b) abs_guard)
@@ -307,7 +318,8 @@ let () =
   List.iter
     (fun (path, f) ->
       if (not (is_band path)) && List.assoc_opt path base = None then
-        flag "NEW      %-40s fresh=%g (absent in baseline)" path f)
+        flag ~drift:infinity "NEW      %-40s fresh=%g (absent in baseline)"
+          path f)
     fresh;
   (* Monotone-direction preservation for "*_curve" arrays: the fresh
      curve must keep the direction the baseline establishes, each step
@@ -346,23 +358,38 @@ let () =
           let slack = leaf_threshold path in
           let up, down = directions bl in
           if up && not down && not (non_decr slack fl) then
-            flag "MONOTONE %-40s baseline non-decreasing, fresh regresses \
-                  mid-curve" path
+            flag ~drift:infinity
+              "MONOTONE %-40s baseline non-decreasing, fresh regresses \
+               mid-curve" path
           else if down && not up && not (non_incr slack fl) then
-            flag "MONOTONE %-40s baseline non-increasing, fresh rises \
-                  mid-curve" path
+            flag ~drift:infinity
+              "MONOTONE %-40s baseline non-increasing, fresh rises \
+               mid-curve" path
           else if up && down && not (non_decr slack fl || non_incr slack fl)
           then
-            flag "MONOTONE %-40s baseline constant, fresh is non-monotone"
+            flag ~drift:infinity
+              "MONOTONE %-40s baseline constant, fresh is non-monotone"
               path)
     (curves base_json);
-  if !failures > 0 then begin
-    Printf.printf
-      "bench_diff: %d of %d metric(s) outside %.0f%% of %s — if intentional, \
-       regenerate the baseline from a smoke run and commit it\n"
-      !failures (List.length base) (100.0 *. threshold) baseline_path;
-    exit 1
-  end
-  else
-    Printf.printf "bench_diff: %s vs %s: %d metrics within %.0f%%\n"
-      baseline_path fresh_path (List.length base) (100.0 *. threshold)
+  match !failures with
+  | [] ->
+      Printf.printf "bench_diff: %s vs %s: %d metrics within %.0f%%\n"
+        baseline_path fresh_path (List.length base) (100.0 *. threshold)
+  | fs ->
+      (* Rank by drift so the culprit is the first thing on screen even
+         when a cascade trips dozens of leaves: the biggest numeric
+         drifts (structural breaks first) are usually the cause, the
+         rest downstream noise. *)
+      let ranked =
+        List.stable_sort (fun (a, _) (b, _) -> Float.compare b a) (List.rev fs)
+      in
+      let n = List.length fs in
+      Printf.printf "worst %d of %d drifting leaves:\n" (Stdlib.min 5 n) n;
+      List.iteri
+        (fun i (_, line) -> if i < 5 then Printf.printf "  %d. %s\n" (i + 1) line)
+        ranked;
+      Printf.printf
+        "bench_diff: %d of %d metric(s) outside %.0f%% of %s — if intentional, \
+         regenerate the baseline from a smoke run and commit it\n"
+        n (List.length base) (100.0 *. threshold) baseline_path;
+      exit 1

@@ -72,6 +72,17 @@ dune exec bench/main.exe -- load --smoke
 test -s BENCH_load.json
 dune exec bin/bench_diff.exe -- bench/baselines/BENCH_load.json BENCH_load.json
 
+echo "== exemplars smoke (--smoke) =="
+# Asserts capture-off runs are byte-identical to no-obs runs (and
+# capture-on runs engine-neutral), >= 90% of the slowest 0.1% of
+# completions hold exemplars with telescoping stage anatomy, a
+# scripted outage leaves an errno:ENODEV black-box dump containing its
+# own trigger event, and same-seed reruns are byte-identical; exits
+# nonzero on violation.
+dune exec bench/main.exe -- exemplars --smoke
+test -s BENCH_exemplars.json
+dune exec bin/bench_diff.exe -- bench/baselines/BENCH_exemplars.json BENCH_exemplars.json
+
 echo "== labstor_cli metrics smoke =="
 dune exec bin/labstor_cli.exe -- metrics --ops 200 --threads 2 > /dev/null
 test -s out/metrics.jsonl
@@ -80,6 +91,13 @@ echo "== labstor_cli profile/top smoke =="
 dune exec bin/labstor_cli.exe -- profile --ops 200 --threads 2 > /dev/null
 test -s out/profile.json
 dune exec bin/labstor_cli.exe -- top --ops 200 --threads 2 > /dev/null
+
+echo "== labstor_cli exemplars/blackbox smoke =="
+dune exec bin/labstor_cli.exe -- exemplars --ops 200 --threads 2 > /dev/null
+test -s out/exemplars.json
+dune exec bin/labstor_cli.exe -- blackbox --ops 200 --threads 2 > /dev/null
+test -s out/blackbox.json
+grep -q '"reason":"errno:ENODEV"' out/blackbox.json
 
 echo "== labstor_cli qos smoke =="
 dune exec bin/labstor_cli.exe -- qos --tenants 4 --ops 50 --noisy > /dev/null

@@ -691,6 +691,156 @@ let trace_cmd =
        ~doc:"Trace sampled requests through a canned stack and export Chrome trace-event JSON")
     Term.(const run $ conf_pos $ ops $ threads $ seed $ sample $ out)
 
+(* ---------------- exemplars / blackbox ---------------- *)
+
+let exemplars_cmd =
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let k = Arg.(value & opt int 8 & info [ "k" ] ~doc:"exemplar slots (slowest K requests kept)") in
+  let tail_us =
+    Arg.(value & opt float 0.0
+         & info [ "tail-us" ]
+             ~doc:"fixed promotion threshold in microseconds (0 = adapt to the live client p99)")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"exemplar store output path (overrides the config's exemplar_path)")
+  in
+  let run conf ops threads seed k tail_us out =
+    let cfg = parse_run_config conf in
+    let platform =
+      Platform.boot ~nworkers:cfg.Runtime.Runtime.nworkers ~seed ~exemplar_k:k
+        ~exemplar_tail_us:tail_us ()
+    in
+    drive_obs_workload platform ~ops ~threads;
+    (match Runtime.Runtime.exemplars (Platform.runtime platform) with
+    | None -> Printf.printf "exemplar store disabled (k = 0)\n"
+    | Some store ->
+        Printf.printf
+          "exemplars: %d stored of %d offered (%d promoted, %d recycled, %d evicted), threshold %.0f ns\n"
+          (Obs.Exemplar.stored store)
+          (Obs.Exemplar.offered store)
+          (Obs.Exemplar.promoted store)
+          (Obs.Exemplar.recycled store)
+          (Obs.Exemplar.evicted store)
+          (Obs.Exemplar.threshold_ns store);
+        let rows =
+          List.map
+            (fun v ->
+              let stages =
+                List.filter
+                  (fun s -> s.Obs.Exemplar.s_cat = "stage")
+                  v.Obs.Exemplar.v_stages
+              in
+              let worst =
+                List.fold_left
+                  (fun (wn, wd) s ->
+                    let d = s.Obs.Exemplar.s_t1 -. s.Obs.Exemplar.s_t0 in
+                    if d > wd then (s.Obs.Exemplar.s_name, d) else (wn, wd))
+                  ("-", 0.0) stages
+              in
+              ( Printf.sprintf "req %d" v.Obs.Exemplar.v_id,
+                Printf.sprintf "%8.0f ns across %d stages, worst %s (%.0f ns)"
+                  v.Obs.Exemplar.v_latency (List.length stages) (fst worst)
+                  (snd worst) ))
+            (Obs.Exemplar.dump store)
+        in
+        print_value_table rows);
+    let path =
+      match out with
+      | Some p -> p
+      | None ->
+          Option.value cfg.Runtime.Runtime.exemplar_path
+            ~default:"out/exemplars.json"
+    in
+    Platform.export ~exemplar_path:path platform;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "exemplars"
+       ~doc:"Capture the slowest requests' full stage anatomy through a canned stack and export the tail-exemplar store")
+    Term.(const run $ conf_pos $ ops $ threads $ seed $ k $ tail_us $ out)
+
+let blackbox_cmd =
+  let ops = Arg.(value & opt int 2000 & info [ "ops" ] ~doc:"block ops per thread") in
+  let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"client threads") in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"simulation seed") in
+  let cap = Arg.(value & opt int 512 & info [ "cap" ] ~doc:"flight-recorder ring capacity (events)") in
+  let offline_ms =
+    Arg.(value & opt float 2.0
+         & info [ "offline-ms" ]
+             ~doc:"script the device offline for this long mid-run (0 = no fault)")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"black-box dump output path (overrides the config's blackbox_path)")
+  in
+  let run conf ops threads seed cap offline_ms out =
+    let cfg = parse_run_config conf in
+    let fault_script =
+      if offline_ms <= 0.0 then None
+      else
+        (* Mid-run outage: the workload below runs well past 1 ms of
+           virtual time, so requests hit the offline window and surface
+           ENODEV — exactly the trigger the recorder is for. *)
+        Some
+          [
+            Sim.Fault.Offline
+              {
+                from_ns = 1_000_000.0;
+                until_ns = 1_000_000.0 +. (offline_ms *. 1e6);
+                queue = None;
+              };
+          ]
+    in
+    let platform =
+      Platform.boot ~nworkers:cfg.Runtime.Runtime.nworkers ~seed
+        ~blackbox_cap:cap ?fault_script ()
+    in
+    drive_obs_workload platform ~ops ~threads;
+    (match Runtime.Runtime.blackbox (Platform.runtime platform) with
+    | None -> Printf.printf "flight recorder disabled (cap = 0)\n"
+    | Some bb ->
+        Printf.printf
+          "flight recorder: %d events through a %d-slot ring, %d triggers, %d dumps retained\n"
+          (Obs.Flightrec.recorded bb)
+          (Obs.Flightrec.cap bb)
+          (Obs.Flightrec.triggers bb)
+          (List.length (Obs.Flightrec.dumps bb));
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            let c =
+              Option.value (Hashtbl.find_opt tbl e.Obs.Flightrec.e_kind)
+                ~default:0
+            in
+            Hashtbl.replace tbl e.Obs.Flightrec.e_kind (c + 1))
+          (Obs.Flightrec.events bb);
+        let rows =
+          List.sort compare
+            (Hashtbl.fold
+               (fun k c acc -> (k, Printf.sprintf "%5d in ring" c) :: acc)
+               tbl [])
+        in
+        print_value_table rows);
+    let path =
+      match out with
+      | Some p -> p
+      | None ->
+          Option.value cfg.Runtime.Runtime.blackbox_path
+            ~default:"out/blackbox.json"
+    in
+    Platform.export ~blackbox_path:path platform;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:"Run the always-on flight recorder through a scripted device outage and export the triggered black-box dumps")
+    Term.(const run $ conf_pos $ ops $ threads $ seed $ cap $ offline_ms $ out)
+
 (* ---------------- profile / top ---------------- *)
 
 let profile_cmd =
@@ -1084,5 +1234,6 @@ let () =
        (Cmd.group info
           [
             validate_cmd; run_cmd; faults_cmd; lvm_cmd; cache_cmd; metrics_cmd;
-            trace_cmd; profile_cmd; top_cmd; mods_cmd; qos_cmd; load_cmd;
+            trace_cmd; exemplars_cmd; blackbox_cmd; profile_cmd; top_cmd;
+            mods_cmd; qos_cmd; load_cmd;
           ]))

@@ -33,7 +33,9 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
     ?(trace_sample = 0) ?trace_path ?metrics_path
     ?(profile_period = 0.0) ?profile_path ?lvm_rebuild_rate_mbps
     ?qos_quantum_kb ?qos_window_kb ?qos_bypass_kb ?slo_name
-    ?slo_p99_target_us ?slo_floor_kops ?slo_error_budget ?slo_window_ms () =
+    ?slo_p99_target_us ?slo_floor_kops ?slo_error_budget ?slo_window_ms
+    ?exemplar_k ?exemplar_tail_us ?exemplar_path ?blackbox_cap ?blackbox_path
+    () =
   let m = Machine.create ?costs ~seed ~ncores () in
   let devices = if devices = [] then [ Profile.Nvme ] else devices in
   let default_device = Option.value default_device ~default:(List.hd devices) in
@@ -125,6 +127,32 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
       (fun c f -> { c with Lab_runtime.Runtime.slo_window_ms = f })
       config slo_window_ms
   in
+  (* Retroactive observability knobs (exemplar store + flight recorder). *)
+  let config =
+    opt_i
+      (fun c i -> { c with Lab_runtime.Runtime.exemplar_k = i })
+      config exemplar_k
+  in
+  let config =
+    opt_i
+      (fun c f -> { c with Lab_runtime.Runtime.exemplar_tail_us = f })
+      config exemplar_tail_us
+  in
+  let config =
+    opt_i
+      (fun c p -> { c with Lab_runtime.Runtime.exemplar_path = Some p })
+      config exemplar_path
+  in
+  let config =
+    opt_i
+      (fun c i -> { c with Lab_runtime.Runtime.blackbox_cap = i })
+      config blackbox_cap
+  in
+  let config =
+    opt_i
+      (fun c p -> { c with Lab_runtime.Runtime.blackbox_path = Some p })
+      config blackbox_path
+  in
   let rt =
     Lab_runtime.Runtime.create m ~config
       ~backends:
@@ -133,6 +161,22 @@ let boot ?(ncores = 24) ?(nworkers = 4) ?policy ?costs
            backends)
       ~default_backend:(backend_name default_device) ()
   in
+  (* Injected faults feed the flight recorder: each device's fault plan
+     reports (now, queue, label) as a fault fires, recording a Fault
+     event and firing a per-category "fault:<label>" dump trigger. *)
+  (match Lab_runtime.Runtime.blackbox rt with
+  | Some bb ->
+      List.iter
+        (fun (_, d) ->
+          match Device.fault_plan d with
+          | None -> ()
+          | Some f ->
+              Fault.set_observer f (fun ~now ~queue ~label ->
+                  Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Fault ~now
+                    ~id:queue ~tag:label ();
+                  Lab_obs.Flightrec.trigger bb ~reason:("fault:" ^ label) ~now))
+        devs
+  | None -> ());
   (* Device health is exposed as read-through gauges: the registry holds
      a closure, so exports always see the device's current counters
      without per-I/O bookkeeping on the data path. *)
@@ -230,7 +274,8 @@ let profile_json t =
   in
   Printf.sprintf "{\"timeline\":%s,\n\"spans\":%s}\n" timeline spans
 
-let export ?trace_path ?metrics_path ?profile_path t =
+let export ?trace_path ?metrics_path ?profile_path ?exemplar_path
+    ?blackbox_path t =
   let cfg = Lab_runtime.Runtime.config t.rt in
   let pick override conf =
     match override with Some _ -> override | None -> conf
@@ -241,6 +286,18 @@ let export ?trace_path ?metrics_path ?profile_path t =
   (match pick profile_path cfg.Lab_runtime.Runtime.profile_path with
   | Some p -> write_file p (profile_json t)
   | None -> ());
+  (match
+     (Lab_runtime.Runtime.exemplars t.rt,
+      pick exemplar_path cfg.Lab_runtime.Runtime.exemplar_path)
+   with
+  | Some store, Some p -> write_file p (Lab_obs.Exemplar.to_json store)
+  | _ -> ());
+  (match
+     (Lab_runtime.Runtime.blackbox t.rt,
+      pick blackbox_path cfg.Lab_runtime.Runtime.blackbox_path)
+   with
+  | Some bb, Some p -> write_file p (Lab_obs.Flightrec.to_json bb)
+  | _ -> ());
   match pick metrics_path cfg.Lab_runtime.Runtime.metrics_path with
   | Some p ->
       sync_fault_counters t;

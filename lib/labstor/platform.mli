@@ -32,6 +32,11 @@ val boot :
   ?slo_floor_kops:float ->
   ?slo_error_budget:float ->
   ?slo_window_ms:float ->
+  ?exemplar_k:int ->
+  ?exemplar_tail_us:float ->
+  ?exemplar_path:string ->
+  ?blackbox_cap:int ->
+  ?blackbox_path:string ->
   unit ->
   t
 (** Defaults: 24 cores, 4 workers, round-robin orchestration, one NVMe
@@ -78,7 +83,19 @@ val boot :
     [slo_window_ms] window, exported as the
     [slo.<slo_name>.budget_remaining] / [.burn_rate] gauges. Leaving
     both at their 0 defaults builds no SLO object at all, keeping the
-    request path byte-identical to a platform without SLO support. *)
+    request path byte-identical to a platform without SLO support.
+
+    [exemplar_k] (default 0 = off) keeps the [k] slowest completed
+    requests as tail exemplars with full per-stage anatomy; a request
+    is promoted when its latency clears [exemplar_tail_us] (or, at the
+    0.0 default, the live corrected p99 of client latency — the store
+    adapts as load shifts). [blackbox_cap] (default 0 = off) turns on
+    the always-on flight recorder: a ring of the last [blackbox_cap]
+    encoded events, dumped when a trigger fires (injected fault,
+    client-visible ENODEV/ETIMEDOUT, deadline miss, SLO burn rate
+    above 1). {!export} writes the stores to [exemplar_path] /
+    [blackbox_path]. Both features cost zero engine events and zero
+    simulated time, so enabling them never perturbs a run's schedule. *)
 
 val machine : t -> Lab_sim.Machine.t
 
@@ -164,11 +181,14 @@ val profile_json : t -> string
 
 val export :
   ?trace_path:string -> ?metrics_path:string -> ?profile_path:string ->
+  ?exemplar_path:string -> ?blackbox_path:string ->
   t -> unit
 (** Writes the observability artifacts: the Chrome trace-event JSON
     (loadable in Perfetto / [chrome://tracing]), the profile JSON
-    ({!profile_json}), and the JSONL metrics snapshot. Explicit
-    arguments override the paths given to {!boot}; a file is skipped
-    when no path is configured for it. Missing parent directories are
-    created. Fault counters are synced from the devices' fault plans
-    first. *)
+    ({!profile_json}), the tail-exemplar store, the flight-recorder
+    black box, and the JSONL metrics snapshot. Explicit arguments
+    override the paths given to {!boot}; a file is skipped when no
+    path is configured for it (exemplar/black-box files additionally
+    require the feature to have been enabled at boot). Missing parent
+    directories are created. Fault counters are synced from the
+    devices' fault plans first. *)

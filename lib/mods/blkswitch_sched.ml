@@ -93,6 +93,9 @@ type Labmod.state +=
       merged_ops : Metrics.counter;  (** merged device ops dispatched *)
       absorbed_reqs : Metrics.counter;
           (** follower requests absorbed into them *)
+      blackbox : Lab_obs.Flightrec.t option;
+          (** flight recorder: merge decisions and QoS-gate park/wake
+              record into it; [None] = one option check per site *)
     }
 
 let name = "blkswitch_sched"
@@ -134,8 +137,8 @@ let member_result merged_result m =
    window, then forward one op covering everyone who joined and fan the
    outcome back out. With no followers this degenerates to forwarding
    the original request untouched. *)
-let lead ctx ~open_batches ~merged_ops ~absorbed_reqs ~merge_window_ns ~q req b
-    =
+let lead ctx ~open_batches ~merged_ops ~absorbed_reqs ~merge_window_ns
+    ~blackbox ~q req b =
   let s : batch = open_batches.(q) in
   let batch =
     {
@@ -163,6 +166,12 @@ let lead ctx ~open_batches ~merged_ops ~absorbed_reqs ~merge_window_ns ~q req b
   | followers ->
       Metrics.incr merged_ops;
       Metrics.incr ~by:batch.bt_nmembers absorbed_reqs;
+      (match blackbox with
+      | Some bb ->
+          Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Sched
+            ~now:(Machine.now ctx.Labmod.machine)
+            ~id:req.Request.id ~arg:batch.bt_nmembers ~tag:"merge" ()
+      | None -> ());
       (match req.Request.trace with
       | Some fl ->
           Lab_obs.Trace.instant fl ~name:"sched_merge" ~tid:ctx.Labmod.thread
@@ -213,6 +222,7 @@ let operate m ctx req =
         qcells;
         merged_ops;
         absorbed_reqs;
+        blackbox;
       } ->
       (* Multi-tenant dispatch gate, ahead of the decision cost: a
          throughput-class op may only proceed while the DRR window has
@@ -226,8 +236,21 @@ let operate m ctx req =
             let tn = Tenant.get table req.Request.tenant in
             if Tenant.windowed table ~bytes:ib then begin
               let cell = cell_acquire qcells in
-              if not (Tenant.submit table tn ~bytes:ib cell) then
+              if not (Tenant.submit table tn ~bytes:ib cell) then begin
+                (match blackbox with
+                | Some bb ->
+                    Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Park
+                      ~now:(Machine.now ctx.Labmod.machine)
+                      ~id:req.Request.id ~tag:"qos_gate" ()
+                | None -> ());
                 Engine.park cell;
+                match blackbox with
+                | Some bb ->
+                    Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Wake
+                      ~now:(Machine.now ctx.Labmod.machine)
+                      ~id:req.Request.id ~tag:"qos_gate" ()
+                | None -> ()
+              end;
               cell_release qcells cell;
               ib
             end
@@ -308,6 +331,12 @@ let operate m ctx req =
           | Some (q, batch) ->
               req.Request.hint_hctx <- Some q;
               inflight_bytes.(q) <- inflight_bytes.(q) +. bytes;
+              (match blackbox with
+              | Some bb ->
+                  Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Sched
+                    ~now:(Machine.now ctx.Labmod.machine)
+                    ~id:req.Request.id ~tag:"join" ()
+              | None -> ());
               (match req.Request.trace with
               | Some fl ->
                   Lab_obs.Trace.instant fl ~name:"sched_join"
@@ -319,7 +348,7 @@ let operate m ctx req =
               let q = steer () in
               finish q
                 (lead ctx ~open_batches ~merged_ops ~absorbed_reqs
-                   ~merge_window_ns ~q req b)))
+                   ~merge_window_ns ~blackbox ~q req b)))
   | _ -> Request.Failed "blkswitch_sched: bad state"
 
 let merged_ops (m : Labmod.t) =
@@ -332,7 +361,7 @@ let absorbed_reqs (m : Labmod.t) =
   | State { absorbed_reqs; _ } -> Metrics.value absorbed_reqs
   | _ -> 0
 
-let factory ?metrics ?qos ~nqueues () : Registry.factory =
+let factory ?metrics ?qos ?blackbox ~nqueues () : Registry.factory =
  fun ~uuid ~attrs ->
   (* Probe instantiations (reserved "__probe__" uuid) must not pollute
      the registry. *)
@@ -375,6 +404,7 @@ let factory ?metrics ?qos ~nqueues () : Registry.factory =
            absorbed_reqs =
              Metrics.counter ?reg:metrics
                (Printf.sprintf "mod.%s.absorbed_reqs" uuid);
+           blackbox;
          })
     {
       Labmod.operate;

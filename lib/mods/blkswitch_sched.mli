@@ -37,8 +37,11 @@ val absorbed_reqs : Labmod.t -> int
 val factory :
   ?metrics:Lab_obs.Metrics.t ->
   ?qos:Lab_ipc.Tenant.t ->
+  ?blackbox:Lab_obs.Flightrec.t ->
   nqueues:int ->
   unit ->
   Registry.factory
 (** [?metrics] registers the merge counters under ["mod.<uuid>."];
-    [?qos] attaches the multi-tenant DRR dispatch stage. *)
+    [?qos] attaches the multi-tenant DRR dispatch stage. [?blackbox]
+    records merge/join decisions and QoS-gate park/wake transitions
+    into the flight recorder. *)

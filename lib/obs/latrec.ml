@@ -226,6 +226,10 @@ module Slo = struct
     mutable pw_frac : float;  (* last complete window's bad fraction *)
     mutable windows_done : int;
     mutable floor_deficit : float;  (* unserved ops charged so far *)
+    mutable on_roll : (now:float -> burn:float -> unit) option;
+        (* window-close hook: called once per closed window with the
+           window's end time and its burn rate — the flight recorder
+           rides this to log SLO rolls and trigger on burn > 1 *)
   }
 
   type t = slo
@@ -246,7 +250,10 @@ module Slo = struct
         t.windows_done <- t.windows_done + 1;
         t.w_ops <- 0.0;
         t.w_bad <- 0.0;
-        t.w_start <- t.w_start +. t.window_ns
+        t.w_start <- t.w_start +. t.window_ns;
+        match t.on_roll with
+        | Some f -> f ~now:t.w_start ~burn:(t.pw_frac /. t.error_budget)
+        | None -> ()
       done
     end
     else t.w_start <- now
@@ -288,6 +295,8 @@ module Slo = struct
 
   let p99_target_ns t = t.p99_target_ns
 
+  let set_on_roll t f = t.on_roll <- Some f
+
   let create ?reg ~name ?(p99_target_ns = 0.0) ?(floor_ops_s = 0.0)
       ?(error_budget = 0.01) ?(window_ns = 1e8) () =
     if error_budget <= 0.0 then invalid_arg "Latrec.Slo.create: error_budget";
@@ -307,6 +316,7 @@ module Slo = struct
         pw_frac = 0.0;
         windows_done = 0;
         floor_deficit = 0.0;
+        on_roll = None;
       }
     in
     (match reg with

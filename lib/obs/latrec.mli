@@ -121,4 +121,11 @@ module Slo : sig
   val floor_deficit : t -> float
   val name : t -> string
   val p99_target_ns : t -> float
+
+  val set_on_roll : t -> (now:float -> burn:float -> unit) -> unit
+  (** Install a window-close hook, called once per closed burn window
+      with the window's end time and burn rate (an idle gap closes —
+      and reports — every intervening empty window). The flight
+      recorder rides this to log SLO rolls and trigger black-box
+      dumps on [burn > 1]. *)
 end

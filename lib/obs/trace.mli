@@ -6,9 +6,17 @@
     closes one stage and opens the next at the same instant, so a
     request's stage durations sum exactly to its root "request" span.
 
+    With an attached {!Exemplar} store the tracer also captures
+    retroactively: every request gets a pooled flow whose spans are
+    recorded into a fixed-capacity buffer, offered to the store at
+    {!finish} (the top-K slowest survive with full anatomy) and
+    recycled — zero allocation in steady state. Only sampled flows
+    additionally emit Chrome events.
+
     Tracing never schedules engine events or charges simulated compute
-    time, and with sampling off every instrumentation site reduces to a
-    single option check — the tracer is invisible to a run's timing. *)
+    time, and with sampling and capture off every instrumentation site
+    reduces to a single option check — the tracer is invisible to a
+    run's timing. *)
 
 type ev = {
   ev_name : string;
@@ -22,27 +30,41 @@ type ev = {
 }
 
 type t
-(** A tracer: sampling knob plus an event buffer. *)
+(** A tracer: sampling knob, optional exemplar store, event buffer and
+    flow pool. *)
 
-val create : ?sample:int -> unit -> t
-(** [create ~sample ()] — trace 1-in-[sample] requests by id;
-    [sample <= 0] (the default) disables tracing entirely. *)
+val create : ?sample:int -> ?exemplars:Exemplar.t -> unit -> t
+(** [create ~sample ()] — trace 1-in-[sample] requests by hashed id;
+    [sample <= 0] (the default) disables Chrome-event tracing.
+    [exemplars] attaches a tail-exemplar store and turns on
+    stage capture for {e every} request (see {!Exemplar}). *)
 
 val sample : t -> int
 val enabled : t -> bool
 
+val exemplar_store : t -> Exemplar.t option
+
+val capture : t -> bool
+(** [true] iff an exemplar store is attached (every request carries a
+    flow and records its stages). *)
+
 val sampled : t -> id:int -> bool
-(** Deterministic: [sample > 0 && id mod sample = 0]. *)
+(** Deterministic: [sample > 0] and a multiplicative hash of [id] is
+    [0 mod sample]. The hash decorrelates sampling from id allocation
+    strides (batched/per-client id blocks would alias a bare modulus
+    and bias the cohort). *)
 
 (** {1 Flows} *)
 
 type flow
-(** Per-request trace context: request id, root begin time, and at most
-    one currently-open stage. *)
+(** Per-request trace context: request id, root begin time, at most
+    one currently-open stage, and the stage-capture buffer. Pooled:
+    recycled at {!finish}, so a flow must not be touched after its
+    request completes. *)
 
 val start : t -> id:int -> now:float -> flow option
-(** [None] unless the id is sampled; the result is stored in
-    [Request.trace] and travels with the request. *)
+(** [None] unless the id is sampled or capture is on; the result is
+    stored in [Request.trace] and travels with the request. *)
 
 val flow_id : flow -> int
 val flow_t0 : flow -> float
@@ -50,7 +72,8 @@ val flow_t0 : flow -> float
 val span :
   ?args:(string * string) list ->
   flow -> name:string -> cat:string -> tid:int -> t0:float -> t1:float -> unit
-(** Emit a complete span [t0, t1]. *)
+(** Emit a complete span [t0, t1] (sampled flows) and record it into
+    the capture buffer (capture on). *)
 
 val instant : ?args:(string * string) list -> flow -> name:string -> tid:int -> now:float -> unit
 (** Emit a point event (cache hit/miss, sched merge, ...). *)
@@ -62,8 +85,10 @@ val close_stage : flow -> tid:int -> now:float -> unit
 (** Emit the open stage as a span ending [now]; no-op when none open. *)
 
 val finish : flow -> tid:int -> now:float -> unit
-(** Close any open stage, then emit the root "request" span covering
-    the flow's begin to [now]. *)
+(** Close any open stage, emit the root "request" span covering the
+    flow's begin to [now] (sampled flows), offer the captured stages
+    to the exemplar store (capture on), and recycle the flow. The
+    flow must not be used afterwards. *)
 
 (** {1 Export} *)
 

@@ -62,6 +62,11 @@ type t = {
      policy backs off on) and every request is stamped with the
      tenant's dense index for the scheduler's DRR stage. *)
   tenant : Tenant.tenant option;
+  (* Flight recorder (shared with the whole runtime; [None] = every
+     hook below is one option check). Client submissions, completions,
+     errno failures and deadline misses record into it; ENODEV /
+     ETIMEDOUT and deadline misses trigger black-box dumps. *)
+  bb : Lab_obs.Flightrec.t option;
 }
 
 let pid t = t.c_pid
@@ -106,6 +111,7 @@ let connect runtime ~pid ~uid ~thread ?(recovery_timeout_ns = 1e10)
     latency_hist = Metrics.histogram ~reg "client.latency_ns";
     pool = Request.Pool.create ();
     tenant = Runtime.tenant_for runtime ~uid;
+    bb = Runtime.blackbox runtime;
   }
 
 let retries t = Metrics.value t.counters.fc_retries
@@ -186,6 +192,47 @@ let rec await_completion_or_crash t qp ~req_id ~deadline_abs =
       end
       else Error `Crashed
 
+(* ---- flight-recorder hooks -----------------------------------------
+   Each is one option check when no recorder is configured; recording
+   never reads anything but the clock, so it cannot perturb a run. *)
+
+let bb_submit t (req : Request.t) =
+  match t.bb with
+  | None -> ()
+  | Some bb ->
+      Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Submit
+        ~now:req.Request.submitted_at ~id:req.Request.id ()
+
+(* A settled attempt: ok/failed completions record; a client-visible
+   ENODEV (device gone) or ETIMEDOUT (time budget spent) triggers a
+   black-box dump. Deadline misses go through [bb_deadline] instead —
+   they are their own trigger category. *)
+let bb_result t ~id result =
+  match t.bb with
+  | None -> ()
+  | Some bb -> (
+      let now = Machine.now (machine t) in
+      match Request.errno_of_result result with
+      | Some e ->
+          Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Errno ~now ~id ~tag:e
+            ();
+          if e = "ENODEV" then
+            Lab_obs.Flightrec.trigger bb ~reason:"errno:ENODEV" ~now
+          else if e = "ETIMEDOUT" then
+            Lab_obs.Flightrec.trigger bb ~reason:"errno:ETIMEDOUT" ~now
+      | None ->
+          Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Complete ~now ~id
+            ~arg:(if Request.is_ok result then 0 else 1)
+            ())
+
+let bb_deadline t ~id =
+  match t.bb with
+  | None -> ()
+  | Some bb ->
+      let now = Machine.now (machine t) in
+      Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Deadline ~now ~id ();
+      Lab_obs.Flightrec.trigger bb ~reason:"deadline_miss" ~now
+
 (* Request construction + LabStack/Module-Registry lookups the Runtime
    would otherwise perform. *)
 let sync_dispatch_ns = 800.0
@@ -261,6 +308,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~scheduled
       end;
       Trace.open_stage fl ~name:"submit" ~now:req.Request.submitted_at
   | None -> ());
+  bb_submit t req;
   match stack.Stack.exec_mode with
   | Stack_spec.Sync ->
       (* The whole DAG runs in the client thread: no IPC, no central
@@ -275,6 +323,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~scheduled
       (match req.Request.trace with
       | Some fl -> Trace.finish fl ~tid:t.c_thread ~now:(Machine.now (machine t))
       | None -> ());
+      bb_result t ~id:req.Request.id result;
       (* The DAG ran to completion in this thread, so nothing can still
          reference the request: recycle it. *)
       Request.Pool.release t.pool req;
@@ -324,6 +373,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~scheduled
               Option.value done_req.Request.result
                 ~default:(Request.Failed "no result recorded")
             in
+            bb_result t ~id:done_req.Request.id result;
             (* Completion consumed: the Runtime is done with the record. *)
             Request.Pool.release t.pool done_req;
             settle ~ok:(Request.is_ok result);
@@ -331,6 +381,7 @@ let rec dispatch_once t (stack : Stack.t) payload ~hint ~stream ~scheduled
         | Error `Deadline ->
             settle ~ok:false;
             Metrics.incr t.counters.fc_deadline_misses;
+            bb_deadline t ~id:req.Request.id;
             Request.failed_errno "ETIMEDOUT"
               (Printf.sprintf "request %d missed its %.0fns deadline"
                  req.Request.id t.policy.deadline_ns)
@@ -384,6 +435,7 @@ let retry_transient t (stack : Stack.t) payload ~stream ~scheduled
       Engine.wait (backoff_ns t n);
       if Machine.now (machine t) >= deadline_abs then begin
         Metrics.incr t.counters.fc_deadline_misses;
+        bb_deadline t ~id:(-1);
         Request.failed_errno "ETIMEDOUT"
           "deadline exhausted during retry backoff"
       end
@@ -453,9 +505,10 @@ let submit_batch t (stack : Stack.t) payloads =
     (fun (r : Request.t) ->
       r.Request.trace <-
         Trace.start tracer ~id:r.Request.id ~now:r.Request.submitted_at;
-      match r.Request.trace with
+      (match r.Request.trace with
       | Some fl -> Trace.open_stage fl ~name:"submit" ~now:r.Request.submitted_at
-      | None -> ())
+      | None -> ());
+      bb_submit t r)
     reqs;
   charge t
     ((costs t).Costs.shmem_enqueue_ns
@@ -505,10 +558,12 @@ let rec reap_rounds t (stack : Stack.t) ~deadline_abs ~payloads ~pending
                     Trace.finish fl ~tid:t.c_thread
                       ~now:(Machine.now (machine t))
                 | None -> ());
-                firsts.(i) <-
-                  Some
-                    (Option.value req.Request.result
-                       ~default:(Request.Failed "no result recorded"));
+                let result =
+                  Option.value req.Request.result
+                    ~default:(Request.Failed "no result recorded")
+                in
+                bb_result t ~id:req.Request.id result;
+                firsts.(i) <- Some result;
                 (* Matched and recorded: recycle the record. *)
                 Request.Pool.release t.pool req;
                 reap ()
@@ -527,8 +582,9 @@ let rec reap_rounds t (stack : Stack.t) ~deadline_abs ~payloads ~pending
     | `Done -> ()
     | `Deadline ->
         Hashtbl.iter
-          (fun _id i ->
+          (fun id i ->
             Metrics.incr t.counters.fc_deadline_misses;
+            bb_deadline t ~id;
             firsts.(i) <-
               Some
                 (Request.failed_errno "ETIMEDOUT"

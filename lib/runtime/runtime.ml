@@ -15,6 +15,20 @@ type config = {
   trace_sample : int;
   trace_path : string option;
   metrics_path : string option;
+  exemplar_k : int;
+      (* tail-exemplar store slots: 0 (the default) disables retroactive
+         stage capture entirely; > 0 captures every request's stages
+         into pooled buffers and keeps the K slowest with full anatomy *)
+  exemplar_tail_us : float;
+      (* fixed promotion threshold (µs); <= 0 (the default) adapts to
+         the live client-latency p99 instead *)
+  exemplar_path : string option;
+      (* where Platform.export writes the exemplar JSON *)
+  blackbox_cap : int;
+      (* flight-recorder ring capacity (events); 0 (the default)
+         disables the recorder — no ring, no triggers, no dumps *)
+  blackbox_path : string option;
+      (* where Platform.export writes the black-box dump JSON *)
   profile_period_ns : float;  (* sampler period; <= 0 disables profiling *)
   profile_path : string option;
   lvm_rebuild_rate_mbps : float;
@@ -63,6 +77,11 @@ let default_config =
     trace_sample = 0;
     trace_path = None;
     metrics_path = None;
+    exemplar_k = 0;
+    exemplar_tail_us = 0.0;
+    exemplar_path = None;
+    blackbox_cap = 0;
+    blackbox_path = None;
     profile_period_ns = 0.0;
     profile_path = None;
     lvm_rebuild_rate_mbps = 400.0;
@@ -111,6 +130,12 @@ type t = {
   slo : Lab_obs.Latrec.Slo.t option;
       (* runtime-wide SLO over client latency; [None] (the default)
          means the request path makes exactly one option check *)
+  exemplars : Lab_obs.Exemplar.t option;
+      (* tail-exemplar store the tracer offers every finished flow to;
+         [None] = no retroactive capture *)
+  blackbox : Lab_obs.Flightrec.t option;
+      (* always-on flight recorder; [None] = every hook is one option
+         check *)
 }
 
 let machine t = t.machine
@@ -136,6 +161,10 @@ let timeseries t = t.timeseries
 let qos t = t.qos
 
 let slo t = t.slo
+
+let exemplars t = t.exemplars
+
+let blackbox t = t.blackbox
 
 let next_request_id t =
   t.req_counter <- t.req_counter + 1;
@@ -205,7 +234,34 @@ let prime_estimate t ~qp_id req =
 let create machine ?(config = default_config) ~backends ~default_backend () =
   let reg = Registry.create () in
   let metrics = Lab_obs.Metrics.create () in
-  let tracer = Lab_obs.Trace.create ~sample:config.trace_sample () in
+  (* Tail-exemplar store: built only when slots are configured. Its
+     promotion threshold is either the fixed [exemplar_tail_us] floor
+     or (at the 0.0 default) the store's own self-adaptive corrected
+     p99 over every offered latency — re-read on each completion, so
+     the store adapts as the run's tail moves. *)
+  let exemplars =
+    if config.exemplar_k > 0 then
+      if config.exemplar_tail_us > 0.0 then begin
+        let fixed = config.exemplar_tail_us *. 1e3 in
+        Some
+          (Lab_obs.Exemplar.create
+             ~threshold:(fun () -> fixed)
+             ~k:config.exemplar_k ())
+      end
+      else Some (Lab_obs.Exemplar.create ~k:config.exemplar_k ())
+    else None
+  in
+  let tracer =
+    Lab_obs.Trace.create ~sample:config.trace_sample ?exemplars ()
+  in
+  (* Flight recorder: a preallocated ring, always on once configured;
+     record/trigger hooks all over the runtime reduce to one option
+     check when [blackbox_cap] is 0. *)
+  let blackbox =
+    if config.blackbox_cap > 0 then
+      Some (Lab_obs.Flightrec.create ~cap:config.blackbox_cap ())
+    else None
+  in
   (* The continuous-profiling sampler. Created only when a period is
      configured: with profiling off, no Timeseries exists, no probes are
      registered and no Engine tick hook is installed — the run is
@@ -239,10 +295,22 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
            ())
     else None
   in
+  (* The flight recorder rides SLO window rolls: every closed window is
+     logged, and a window burning past its budget (burn > 1) triggers a
+     black-box dump. *)
+  (match (slo, blackbox) with
+  | Some s, Some bb ->
+      Lab_obs.Latrec.Slo.set_on_roll s (fun ~now ~burn ->
+          Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Slo_roll ~now
+            ~arg:(Stdlib.int_of_float (burn *. 1000.0))
+            ();
+          if burn > 1.0 then
+            Lab_obs.Flightrec.trigger bb ~reason:"slo_burn" ~now)
+  | _ -> ());
   Lab_mods.Mods_env.install reg ~machine ~backends ~default_backend
     ~nworkers:config.nworkers
     ~lvm_rebuild_rate_mbps:config.lvm_rebuild_rate_mbps ~metrics ?timeseries
-    ~qos;
+    ~qos ?blackbox;
   let default =
     match List.assoc_opt default_backend backends with
     | Some b -> b
@@ -265,7 +333,7 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
              Worker.create machine ~id:i ~thread ~exec ~qstat ~qprime
                ~spin_ns:config.worker_spin_ns ~busy_poll:config.workers_busy_poll
                ~batch_size:config.worker_batch_size
-               ~max_inflight:config.worker_max_inflight ())
+               ~max_inflight:config.worker_max_inflight ?blackbox ())
        in
        {
          machine;
@@ -289,6 +357,8 @@ let create machine ?(config = default_config) ~backends ~default_backend () =
          timeseries;
          qos;
          slo;
+         exemplars;
+         blackbox;
        })
   in
   let t = Lazy.force t in

@@ -25,6 +25,22 @@ type config = {
       (** where {!Platform.export} writes the Chrome trace-event JSON *)
   metrics_path : string option;
       (** where {!Platform.export} writes the JSONL metrics snapshot *)
+  exemplar_k : int;
+      (** tail-exemplar store slots (default 0 = no retroactive
+          capture): when positive, {e every} request's stages are
+          recorded into a pooled buffer and the K slowest completions
+          are kept with full anatomy — see {!Lab_obs.Exemplar} *)
+  exemplar_tail_us : float;
+      (** fixed exemplar promotion threshold (µs); [<= 0] (the
+          default) adapts to the live client-latency p99 instead *)
+  exemplar_path : string option;
+      (** where {!Platform.export} writes the exemplar JSON *)
+  blackbox_cap : int;
+      (** flight-recorder ring capacity in events (default 0 = no
+          recorder, every hook is one option check) — see
+          {!Lab_obs.Flightrec} *)
+  blackbox_path : string option;
+      (** where {!Platform.export} writes the black-box dump JSON *)
   profile_period_ns : float;
       (** continuous-profiling sampler period; [<= 0.0] (the default)
           disables the sampler entirely — no probes are registered and
@@ -137,6 +153,18 @@ val slo : t -> Lab_obs.Latrec.Slo.t option
     request feeds it and its error-budget gauges
     ([slo.<name>.budget_remaining], [slo.<name>.burn_rate]) travel with
     {!Platform.export}. *)
+
+val exemplars : t -> Lab_obs.Exemplar.t option
+(** The tail-exemplar store, present iff the config's [exemplar_k] is
+    positive. Attached to the tracer: every finished request flow is
+    offered and the K slowest survive with full stage anatomy. *)
+
+val blackbox : t -> Lab_obs.Flightrec.t option
+(** The flight recorder, present iff the config's [blackbox_cap] is
+    positive. Client submit/complete/errno/deadline events, worker and
+    scheduler park/wake, SLO window rolls and injected faults all
+    record into its ring; faults, client-visible ENODEV/ETIMEDOUT,
+    deadline misses and burn rates above 1 trigger black-box dumps. *)
 
 val register_tenant :
   t ->

@@ -37,11 +37,14 @@ type t = {
      batch so the scratch never pins dispatched requests. *)
   scratch : Request.t array;
   scratch_dummy : Request.t;
+  (* Flight recorder: park/wake transitions are recorded so a black-box
+     dump shows whether workers were asleep just before a trigger. *)
+  blackbox : Lab_obs.Flightrec.t option;
 }
 
 let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     ?(qprime = fun ~qp_id:_ _ -> ()) ?(spin_ns = 5000.0) ?(busy_poll = false)
-    ?(batch_size = 1) ?(max_inflight = 16) () =
+    ?(batch_size = 1) ?(max_inflight = 16) ?blackbox () =
   let batch_size = Stdlib.max 1 batch_size in
   let scratch_dummy =
     Request.make ~id:(-1) ~pid:(-1) ~uid:(-1) ~thread:(-1) ~stack_id:(-1)
@@ -71,6 +74,7 @@ let create machine ~id ~thread ~exec ?(qstat = fun ~qp_id:_ ~service_ns:_ -> ())
     max_inflight = Stdlib.max 1 max_inflight;
     scratch = Array.make batch_size scratch_dummy;
     scratch_dummy;
+    blackbox;
   }
 
 let id t = t.w_id
@@ -248,10 +252,24 @@ let sweep t =
 let park t =
   t.active <- t.active +. (Engine.now t.machine.Machine.engine -. t.awake_since);
   t.is_parked <- true;
+  let done_before = t.done_count in
+  (match t.blackbox with
+  | Some bb ->
+      Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Park
+        ~now:(Engine.now t.machine.Machine.engine)
+        ~id:t.w_id ~tag:"worker" ()
+  | None -> ());
   let slot = ref None in
   Waitq.park t.bell slot;
   t.is_parked <- false;
-  t.awake_since <- Engine.now t.machine.Machine.engine
+  t.awake_since <- Engine.now t.machine.Machine.engine;
+  match t.blackbox with
+  | Some bb ->
+      Lab_obs.Flightrec.record bb Lab_obs.Flightrec.Wake ~now:t.awake_since
+        ~id:t.w_id
+        ~arg:(t.done_count - done_before)
+        ~tag:"worker" ()
+  | None -> ()
 
 let start t =
   Engine.spawn t.machine.Machine.engine (fun () ->

@@ -21,6 +21,7 @@ val create :
   ?busy_poll:bool ->
   ?batch_size:int ->
   ?max_inflight:int ->
+  ?blackbox:Lab_obs.Flightrec.t ->
   unit ->
   t
 (** [exec] runs a request through its stack. [qstat] reports observed

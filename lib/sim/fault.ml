@@ -33,6 +33,9 @@ type t = {
   windows : (float * float * int option) list;
   mutable pending : one_shot list;  (* sorted by at_ns, unconsumed *)
   mutable rev_trace : string list;
+  mutable observer : (now:float -> queue:int -> label:string -> unit) option;
+      (* injection hook: called once per injected (non-Pass) decision
+         with a literal category label — the flight recorder rides it *)
   io_errors : Stats.Counter.c;
   timeouts : Stats.Counter.c;
   torn_writes : Stats.Counter.c;
@@ -64,6 +67,7 @@ let create ?(rates = no_rates) ?(queue_rates = []) ?(script = []) ~seed () =
     windows;
     pending;
     rev_trace = [];
+    observer = None;
     io_errors = Stats.Counter.create ();
     timeouts = Stats.Counter.create ();
     torn_writes = Stats.Counter.create ();
@@ -112,23 +116,32 @@ let rates_for t queue =
   | Some r -> r
   | None -> t.rates
 
+let set_observer t f = t.observer <- Some f
+
+let observe t ~now ~queue label =
+  match t.observer with None -> () | Some f -> f ~now ~queue ~label
+
 let count_and_trace t ~now ~queue ~bytes d =
   (match d with
   | Pass -> ()
   | Fail_io ->
       Stats.Counter.incr t.io_errors;
-      record t ~now ~queue "io_error"
+      record t ~now ~queue "io_error";
+      observe t ~now ~queue "io_error"
   | Delay d ->
       Stats.Counter.incr t.timeouts;
       record t ~now ~queue
         (if Float.is_finite d then Printf.sprintf "timeout +%.0f" d
-         else "timeout lost")
+         else "timeout lost");
+      observe t ~now ~queue "timeout"
   | Torn n ->
       Stats.Counter.incr t.torn_writes;
-      record t ~now ~queue (Printf.sprintf "torn %d/%d" n bytes)
+      record t ~now ~queue (Printf.sprintf "torn %d/%d" n bytes);
+      observe t ~now ~queue "torn_write"
   | Reject_offline ->
       Stats.Counter.incr t.offline_rejects;
-      record t ~now ~queue "offline_reject");
+      record t ~now ~queue "offline_reject";
+      observe t ~now ~queue "offline_reject");
   d
 
 let decide t ~now ~queue ~is_write ~bytes =

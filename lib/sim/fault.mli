@@ -80,6 +80,13 @@ val offline_windows : t -> (float * float * int option) list
 
 (** {2 Observability} *)
 
+val set_observer : t -> (now:float -> queue:int -> label:string -> unit) -> unit
+(** Install an injection hook, called once per non-{!Pass} decision
+    with a literal category label ([io_error], [timeout], [torn_write],
+    [offline_reject]) — the flight recorder rides this to log injected
+    faults and trigger black-box dumps. Purely observational: it must
+    not perturb the run. *)
+
 val injected : t -> (string * int) list
 (** Counter snapshot: [io_error], [timeout], [torn_write],
     [offline_reject] — populated via {!Lab_sim.Stats.Counter}. *)

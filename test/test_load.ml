@@ -341,6 +341,103 @@ let test_slo_burn () =
   Alcotest.(check bool) "budget consumed" true
     (Lab_obs.Latrec.Slo.budget_remaining s < b0)
 
+(* ------------------------------------------------------------------ *)
+(* Latrec edges: empty and single-sample behaviour                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_empty () =
+  let h = Lab_obs.Latrec.Hist.create () in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty q%.3f" q)
+        0.0
+        (Lab_obs.Latrec.Hist.quantile h q))
+    [ 0.0; 0.5; 0.99; 0.999; 1.0 ];
+  Alcotest.(check (float 0.0)) "empty min" 0.0 (Lab_obs.Latrec.Hist.min_value h);
+  Alcotest.(check (float 0.0)) "empty max" 0.0 (Lab_obs.Latrec.Hist.max_value h);
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Lab_obs.Latrec.Hist.mean h);
+  (* An empty recorder answers every quantile with 0 too. *)
+  let r = Lab_obs.Latrec.create () in
+  Alcotest.(check (float 0.0)) "recorder empty p99" 0.0
+    (Lab_obs.Latrec.corrected_quantile r 0.99);
+  Alcotest.(check (float 0.0)) "recorder empty naive" 0.0
+    (Lab_obs.Latrec.naive_quantile r 0.99);
+  Alcotest.(check (float 0.0)) "recorder empty lag max" 0.0
+    (Lab_obs.Latrec.lag_max_ns r)
+
+let test_hist_single_sample () =
+  (* One observation: every quantile is that observation — the [min,max]
+     clamp collapses the bucket midpoint to the exact value. *)
+  let h = Lab_obs.Latrec.Hist.create () in
+  Lab_obs.Latrec.Hist.observe h 7777.5;
+  Alcotest.(check (float 0.0)) "min" 7777.5 (Lab_obs.Latrec.Hist.min_value h);
+  Alcotest.(check (float 0.0)) "max" 7777.5 (Lab_obs.Latrec.Hist.max_value h);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q%.3f = the sample" q)
+        7777.5
+        (Lab_obs.Latrec.Hist.quantile h q))
+    [ 0.0; 0.5; 0.999; 1.0 ]
+
+let test_slo_empty_window () =
+  (* No observations at all: burn is the cumulative bad fraction (0/0
+     guarded to 0) and the budget is untouched. *)
+  let s =
+    Lab_obs.Latrec.Slo.create ~name:"empty" ~p99_target_ns:100.0
+      ~error_budget:0.01 ~window_ns:1000.0 ()
+  in
+  Alcotest.(check (float 0.0)) "no obs: burn 0" 0.0
+    (Lab_obs.Latrec.Slo.burn_rate s);
+  Alcotest.(check (float 0.0)) "no obs: budget intact" 1.0
+    (Lab_obs.Latrec.Slo.budget_remaining s);
+  (* Ticking across many empty windows (no floor set) must not burn:
+     zero demand, zero service is not a violation. *)
+  Lab_obs.Latrec.Slo.tick s ~now:50_000.0;
+  Alcotest.(check (float 0.0)) "idle windows: burn 0" 0.0
+    (Lab_obs.Latrec.Slo.burn_rate s);
+  Alcotest.(check (float 0.0)) "idle windows: budget intact" 1.0
+    (Lab_obs.Latrec.Slo.budget_remaining s);
+  (* With a throughput floor, an idle gap after the clock has started
+     IS a violation: every empty window misses its demanded ops and
+     burns budget. (The first tick only starts the clock — windows are
+     anchored at the first event, not at t=0.) *)
+  let f =
+    Lab_obs.Latrec.Slo.create ~name:"floor" ~floor_ops_s:1e6
+      ~error_budget:0.01 ~window_ns:1000.0 ()
+  in
+  Lab_obs.Latrec.Slo.tick f ~now:0.0;
+  Lab_obs.Latrec.Slo.tick f ~now:50_000.0;
+  Alcotest.(check bool) "floor: deficit accrued" true
+    (Lab_obs.Latrec.Slo.floor_deficit f > 0.0);
+  Alcotest.(check bool) "floor: budget burned" true
+    (Lab_obs.Latrec.Slo.budget_remaining f < 1.0)
+
+let test_slo_on_roll () =
+  (* The window-close hook fires once per closed window — including the
+     empty windows an idle gap closes — with the rolled burn rate. *)
+  let s =
+    Lab_obs.Latrec.Slo.create ~name:"hook" ~p99_target_ns:100.0
+      ~error_budget:0.5 ~window_ns:1000.0 ()
+  in
+  let rolls = ref [] in
+  Lab_obs.Latrec.Slo.set_on_roll s (fun ~now ~burn ->
+      rolls := (now, burn) :: !rolls);
+  (* The first observation anchors the window at t=100: [100,1100) sees
+     one bad of two → bad fraction 0.5 → burn 1.0. *)
+  Lab_obs.Latrec.Slo.observe s ~latency_ns:10.0 ~now:100.0;
+  Lab_obs.Latrec.Slo.observe s ~latency_ns:1e6 ~now:200.0;
+  (* Jumping to t=3500 closes [100,1100), [1100,2100), [2100,3100). *)
+  Lab_obs.Latrec.Slo.observe s ~latency_ns:10.0 ~now:3500.0;
+  match List.rev !rolls with
+  | (n1, b1) :: (_, b2) :: (_, b3) :: [] ->
+      Alcotest.(check (float 0.0)) "first roll at window end" 1100.0 n1;
+      Alcotest.(check (float 1e-9)) "first burn = 1.0" 1.0 b1;
+      Alcotest.(check (float 0.0)) "empty window burns 0" 0.0 b2;
+      Alcotest.(check (float 0.0)) "empty window burns 0" 0.0 b3
+  | rolls -> Alcotest.failf "expected 3 rolls, got %d" (List.length rolls)
+
 let () =
   Alcotest.run "load"
     [
@@ -370,5 +467,9 @@ let () =
           Alcotest.test_case "recorder semantics" `Quick test_recorder_semantics;
           Alcotest.test_case "hist exact min/max" `Quick test_hist_exact_min_max;
           Alcotest.test_case "slo burn" `Quick test_slo_burn;
+          Alcotest.test_case "hist empty" `Quick test_hist_empty;
+          Alcotest.test_case "hist single sample" `Quick test_hist_single_sample;
+          Alcotest.test_case "slo empty window" `Quick test_slo_empty_window;
+          Alcotest.test_case "slo on_roll hook" `Quick test_slo_on_roll;
         ] );
     ]

@@ -8,6 +8,8 @@ module Metrics = Lab_obs.Metrics
 module Trace = Lab_obs.Trace
 module Timeseries = Lab_obs.Timeseries
 module Profile = Lab_obs.Profile
+module Exemplar = Lab_obs.Exemplar
+module Flightrec = Lab_obs.Flightrec
 
 (* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
@@ -139,10 +141,41 @@ let test_gauge_clamped_at_read () =
 let test_sampling_predicate () =
   let off = Trace.create () in
   Alcotest.(check bool) "off" false (Trace.sampled off ~id:0);
+  (* sample:1 always samples — the hash never changes "every request". *)
+  let all = Trace.create ~sample:1 () in
+  for id = 0 to 99 do
+    Alcotest.(check bool) "sample 1" true (Trace.sampled all ~id)
+  done;
+  (* sample:N picks ids by a mixed hash, not [id mod N = 0]: strided id
+     streams (every client stamping ids k, k+8, k+16, …) must not alias
+     to all-or-nothing selections. The choice is deterministic, roughly
+     1/N of any stride, and never the plain head-of-stride rule. *)
   let tr = Trace.create ~sample:3 () in
-  Alcotest.(check bool) "id 6" true (Trace.sampled tr ~id:6);
-  Alcotest.(check bool) "id 7" false (Trace.sampled tr ~id:7);
-  Alcotest.(check bool) "start unsampled" true (Trace.start tr ~id:7 ~now:0.0 = None)
+  let count stride =
+    let n = ref 0 in
+    for i = 0 to 2999 do
+      if Trace.sampled tr ~id:(i * stride) then incr n
+    done;
+    !n
+  in
+  List.iter
+    (fun stride ->
+      let n = count stride in
+      Alcotest.(check bool)
+        (Printf.sprintf "stride %d near 1/3" stride)
+        true
+        (n > 800 && n < 1200))
+    [ 1; 3; 8 ];
+  (* Deterministic: same id, same verdict. *)
+  Alcotest.(check bool) "stable" (Trace.sampled tr ~id:6) (Trace.sampled tr ~id:6);
+  (* An unsampled id (no exemplar store attached) starts no flow. *)
+  let unsampled =
+    let id = ref 0 in
+    while Trace.sampled tr ~id:!id do incr id done;
+    !id
+  in
+  Alcotest.(check bool) "start unsampled" true
+    (Trace.start tr ~id:unsampled ~now:0.0 = None)
 
 let test_stage_telescoping () =
   let tr = Trace.create ~sample:1 () in
@@ -326,6 +359,135 @@ let test_profile_tail_and_stability () =
     (Profile.to_json (Profile.of_events evs))
 
 (* ------------------------------------------------------------------ *)
+(* Exemplar store                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let offer_simple store ~id ~latency =
+  Exemplar.offer store ~id ~t0:0.0 ~latency ~n:1 ~dropped:0
+    ~names:[| "stage" |] ~cats:[| "stage" |] ~t0s:[| 0.0 |]
+    ~t1s:[| latency |]
+
+let test_exemplar_promote_recycle () =
+  let thr = ref 100.0 in
+  let store = Exemplar.create ~threshold:(fun () -> !thr) ~k:2 () in
+  (* Under threshold: recycled, not stored. *)
+  Alcotest.(check bool) "fast recycled" false
+    (offer_simple store ~id:1 ~latency:50.0);
+  Alcotest.(check int) "nothing stored" 0 (Exemplar.stored store);
+  (* Tail: promoted into free slots. *)
+  Alcotest.(check bool) "slow promoted" true
+    (offer_simple store ~id:2 ~latency:200.0);
+  Alcotest.(check bool) "slow promoted" true
+    (offer_simple store ~id:3 ~latency:300.0);
+  Alcotest.(check int) "store full" 2 (Exemplar.stored store);
+  (* Full store: only strictly-slower requests evict the minimum. *)
+  Alcotest.(check bool) "equal-to-min keeps incumbent" false
+    (offer_simple store ~id:4 ~latency:200.0);
+  Alcotest.(check bool) "slower evicts min" true
+    (offer_simple store ~id:5 ~latency:250.0);
+  Alcotest.(check int) "evictions counted" 1 (Exemplar.evicted store);
+  (match Exemplar.dump store with
+  | [ a; b ] ->
+      Alcotest.(check int) "slowest first" 3 a.Exemplar.v_id;
+      Alcotest.(check (float 0.0)) "slowest latency" 300.0 a.Exemplar.v_latency;
+      Alcotest.(check int) "runner-up" 5 b.Exemplar.v_id
+  | vs -> Alcotest.failf "expected 2 exemplars, got %d" (List.length vs));
+  (* The threshold closure is re-read per offer: raising it recycles. *)
+  thr := 1e9;
+  Alcotest.(check bool) "raised threshold recycles" false
+    (offer_simple store ~id:6 ~latency:500.0);
+  Alcotest.(check int) "offers counted" 6 (Exemplar.offered store);
+  Alcotest.(check int) "promotions counted" 3 (Exemplar.promoted store);
+  Alcotest.(check int) "recycles counted" 3 (Exemplar.recycled store);
+  (* Export is byte-stable. *)
+  Alcotest.(check string) "json stable" (Exemplar.to_json store)
+    (Exemplar.to_json store)
+
+let test_exemplar_stage_copy () =
+  (* Promotion copies the stage arrays; the caller's buffers can be
+     reused without corrupting the stored anatomy. *)
+  let store = Exemplar.create ~k:1 () in
+  let names = [| "a"; "b" |] and cats = [| "stage"; "stage" |] in
+  let t0s = [| 0.0; 5.0 |] and t1s = [| 5.0; 9.0 |] in
+  ignore (Exemplar.offer store ~id:7 ~t0:0.0 ~latency:9.0 ~n:2 ~dropped:0
+            ~names ~cats ~t0s ~t1s);
+  names.(0) <- "clobbered";
+  t1s.(0) <- 1e9;
+  match Exemplar.dump store with
+  | [ v ] -> (
+      match v.Exemplar.v_stages with
+      | [ s1; s2 ] ->
+          Alcotest.(check string) "stage name copied" "a" s1.Exemplar.s_name;
+          Alcotest.(check (float 0.0)) "stage end copied" 5.0 s1.Exemplar.s_t1;
+          Alcotest.(check string) "second stage" "b" s2.Exemplar.s_name
+      | ss -> Alcotest.failf "expected 2 stages, got %d" (List.length ss))
+  | vs -> Alcotest.failf "expected 1 exemplar, got %d" (List.length vs)
+
+let test_exemplar_disabled () =
+  let store = Exemplar.create ~k:0 () in
+  Alcotest.(check bool) "k=0 recycles" false
+    (offer_simple store ~id:1 ~latency:1e12);
+  Alcotest.(check int) "nothing stored" 0 (Exemplar.stored store)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flightrec_ring () =
+  let bb = Flightrec.create ~cap:4 () in
+  for i = 1 to 6 do
+    Flightrec.record bb Flightrec.Submit ~now:(float_of_int i) ~id:i ()
+  done;
+  Alcotest.(check int) "all recorded" 6 (Flightrec.recorded bb);
+  (match Flightrec.events bb with
+  | [ a; b; c; d ] ->
+      (* Ring keeps the last cap events, oldest first. *)
+      Alcotest.(check int) "oldest survivor" 3 a.Flightrec.e_id;
+      Alcotest.(check int) "then" 4 b.Flightrec.e_id;
+      Alcotest.(check int) "then" 5 c.Flightrec.e_id;
+      Alcotest.(check int) "newest" 6 d.Flightrec.e_id
+  | es -> Alcotest.failf "expected 4 ring events, got %d" (List.length es));
+  (* cap=0 disables: record and trigger are no-ops. *)
+  let off = Flightrec.create ~cap:0 () in
+  Flightrec.record off Flightrec.Submit ~now:0.0 ();
+  Flightrec.trigger off ~reason:"x" ~now:0.0;
+  Alcotest.(check int) "disabled records nothing" 0 (Flightrec.recorded off);
+  Alcotest.(check int) "disabled dumps nothing" 0
+    (List.length (Flightrec.dumps off))
+
+let test_flightrec_triggers () =
+  let bb = Flightrec.create ~max_dumps:2 ~cap:16 () in
+  Flightrec.record bb Flightrec.Errno ~now:1.0 ~id:9 ~tag:"ENODEV" ();
+  Flightrec.trigger bb ~reason:"errno:ENODEV" ~now:2.0;
+  (* Same reason again: counted, but no second dump. *)
+  Flightrec.trigger bb ~reason:"errno:ENODEV" ~now:3.0;
+  Flightrec.trigger bb ~reason:"deadline_miss" ~now:4.0;
+  (* Third distinct reason: over max_dumps, counted only. *)
+  Flightrec.trigger bb ~reason:"slo_burn" ~now:5.0;
+  Alcotest.(check int) "all triggers counted" 4 (Flightrec.triggers bb);
+  (match Flightrec.dumps bb with
+  | [ d1; d2 ] ->
+      Alcotest.(check bool) "first dump names its reason" true
+        (String.length d1 > 0
+        && String.sub d1 0 30 = {|{"reason":"errno:ENODEV","now_|});
+      (* The dump's event list ends with its own Trigger record, and
+         carries the errno event that preceded it. *)
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "dump contains errno event" true
+        (contains d1 {|"tag":"ENODEV"|});
+      Alcotest.(check bool) "dump contains trigger event" true
+        (contains d1 {|"kind":"trigger"|});
+      Alcotest.(check bool) "second dump is the next distinct reason" true
+        (contains d2 {|"reason":"deadline_miss"|})
+  | ds -> Alcotest.failf "expected 2 dumps, got %d" (List.length ds));
+  Alcotest.(check string) "export stable" (Flightrec.to_json bb)
+    (Flightrec.to_json bb)
+
+(* ------------------------------------------------------------------ *)
 (* Platform-level: determinism, nesting, zero overhead                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -351,10 +513,11 @@ let threads = 2
 
 let ops = 40
 
-let run_platform ?(profile_period = 0.0) ~sample () =
+let run_platform ?(profile_period = 0.0) ?exemplar_k ?exemplar_tail_us
+    ?blackbox_cap ~sample () =
   let platform =
     Platform.boot ~nworkers:2 ~seed:0x0B5 ~trace_sample:sample ~profile_period
-      ()
+      ?exemplar_k ?exemplar_tail_us ?blackbox_cap ()
   in
   (match Platform.mount platform stack_spec with
   | Ok _ -> ()
@@ -403,7 +566,8 @@ let test_span_nesting () =
   let mstacks = Hashtbl.create 64 in
   List.iter
     (fun (e : Trace.ev) ->
-      Alcotest.(check bool) "sampling respected" true (e.Trace.ev_id mod 2 = 0);
+      Alcotest.(check bool) "sampling respected" true
+        (Trace.sampled (Platform.tracer p) ~id:e.Trace.ev_id);
       Alcotest.(check bool) "end >= begin" true (e.Trace.ev_dur >= 0.0);
       match (e.Trace.ev_cat, e.Trace.ev_name) with
       | "request", _ -> Hashtbl.replace roots e.Trace.ev_id e
@@ -469,6 +633,70 @@ let test_zero_overhead_when_off () =
   Alcotest.(check (float 0.0)) "same virtual time" elapsed0 (Platform.now p);
   Alcotest.(check int) "same event count" events0
     (Lab_sim.Engine.events_executed machine.Lab_sim.Machine.engine)
+
+let test_capture_neutrality () =
+  (* Exemplar capture and the flight recorder do their work in plain
+     OCaml between engine events — no spawns, no simulated time — so
+     turning both on full blast must leave the schedule untouched:
+     identical event count and identical final virtual time. *)
+  let observe p =
+    let machine = Platform.machine p in
+    ( Lab_sim.Engine.events_executed machine.Lab_sim.Machine.engine,
+      Platform.now p )
+  in
+  let off = run_platform ~sample:0 () in
+  let on =
+    run_platform ~sample:0 ~exemplar_k:8 ~exemplar_tail_us:1.0
+      ~blackbox_cap:256 ()
+  in
+  let events0, elapsed0 = observe off in
+  let events1, elapsed1 = observe on in
+  Alcotest.(check int) "same event count" events0 events1;
+  Alcotest.(check (float 0.0)) "same virtual time" elapsed0 elapsed1;
+  (* ... and the capture actually happened. *)
+  (match Runtime.Runtime.exemplars (Platform.runtime on) with
+  | None -> Alcotest.fail "exemplar store missing"
+  | Some store ->
+      Alcotest.(check int) "every request offered" (threads * ops)
+        (Exemplar.offered store);
+      Alcotest.(check bool) "tail requests promoted" true
+        (Exemplar.stored store > 0);
+      (* Full anatomy: each exemplar's stage records tile its root
+         request span (same telescoping guarantee the tracer gives). *)
+      List.iter
+        (fun v ->
+          Alcotest.(check bool) "has stages" true (v.Exemplar.v_stages <> []);
+          Alcotest.(check int) "no overflow" 0 v.Exemplar.v_dropped;
+          let sum =
+            List.fold_left
+              (fun acc s ->
+                if s.Exemplar.s_cat = "stage" then
+                  acc +. (s.Exemplar.s_t1 -. s.Exemplar.s_t0)
+                else acc)
+              0.0 v.Exemplar.v_stages
+          in
+          let residual = Float.abs (v.Exemplar.v_latency -. sum) in
+          Alcotest.(check bool) "stages reconcile with latency" true
+            (residual <= 0.01 *. Float.max v.Exemplar.v_latency 1.0))
+        (Exemplar.dump store));
+  (match Runtime.Runtime.blackbox (Platform.runtime on) with
+  | None -> Alcotest.fail "flight recorder missing"
+  | Some bb ->
+      Alcotest.(check bool) "recorder saw traffic" true
+        (Flightrec.recorded bb > 0);
+      Alcotest.(check int) "clean run, no dumps" 0
+        (List.length (Flightrec.dumps bb)));
+  (* Same-seed determinism extends to the new artifacts. *)
+  let again =
+    run_platform ~sample:0 ~exemplar_k:8 ~exemplar_tail_us:1.0
+      ~blackbox_cap:256 ()
+  in
+  let json p =
+    match Runtime.Runtime.exemplars (Platform.runtime p) with
+    | Some s -> Exemplar.to_json s
+    | None -> ""
+  in
+  Alcotest.(check string) "exemplar json byte-identical" (json on) (json again)
 
 let test_sampler_neutrality () =
   (* The sampler rides the engine clock between events (it is not a
@@ -537,12 +765,27 @@ let () =
           Alcotest.test_case "stage telescoping" `Quick test_stage_telescoping;
           Alcotest.test_case "chrome json stable" `Quick test_chrome_json_stable;
         ] );
+      ( "exemplar",
+        [
+          Alcotest.test_case "promote/recycle/evict" `Quick
+            test_exemplar_promote_recycle;
+          Alcotest.test_case "stage copy" `Quick test_exemplar_stage_copy;
+          Alcotest.test_case "disabled" `Quick test_exemplar_disabled;
+        ] );
+      ( "flightrec",
+        [
+          Alcotest.test_case "ring wrap" `Quick test_flightrec_ring;
+          Alcotest.test_case "triggers and dumps" `Quick
+            test_flightrec_triggers;
+        ] );
       ( "platform",
         [
           Alcotest.test_case "run determinism" `Quick test_run_determinism;
           Alcotest.test_case "span nesting" `Quick test_span_nesting;
           Alcotest.test_case "zero overhead when off" `Quick
             test_zero_overhead_when_off;
+          Alcotest.test_case "capture neutrality" `Quick
+            test_capture_neutrality;
           Alcotest.test_case "sampler neutrality" `Quick
             test_sampler_neutrality;
         ] );
